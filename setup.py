@@ -1,0 +1,8 @@
+"""Setup shim: the offline environment lacks `wheel`, so `pip install -e .`
+cannot build a PEP 660 editable wheel. `python setup.py develop` (or
+`pip install -e . --no-build-isolation` once wheel is available) installs
+the package equivalently.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Reproduction of *Phloem: Automatic Acceleration of Irregular Applications
+with Fine-Grain Pipeline Parallelism* (HPCA 2023).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.frontend` -- mini-C -> Phloem IR
+* :mod:`repro.core` -- the Phloem compiler (passes, search, replication)
+* :mod:`repro.pipette` -- the simulated hardware substrate
+* :mod:`repro.runtime` -- serial/pipelined/data-parallel/replicated executors
+* :mod:`repro.taco` -- mini tensor-algebra compiler emitting mini-C
+* :mod:`repro.workloads` -- benchmarks and synthetic inputs
+* :mod:`repro.bench` -- the per-figure evaluation harness
+"""
+
+__version__ = "1.0.0"
+
+from .core import ALL_PASSES, compile_c, compile_function, replicate_pipeline
+from .frontend import compile_source
+from .pipette import PIPETTE_1CORE, PIPETTE_4CORE, SCALED_1CORE, SCALED_4CORE, MachineConfig
+from .runtime import describe_run, run_pipeline, run_replicated, run_serial
+
+__all__ = [
+    "ALL_PASSES",
+    "compile_c",
+    "compile_function",
+    "replicate_pipeline",
+    "compile_source",
+    "PIPETTE_1CORE",
+    "PIPETTE_4CORE",
+    "SCALED_1CORE",
+    "SCALED_4CORE",
+    "MachineConfig",
+    "describe_run",
+    "run_pipeline",
+    "run_replicated",
+    "run_serial",
+]

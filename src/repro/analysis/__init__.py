@@ -1,0 +1,27 @@
+"""Static analyses backing the Phloem compiler passes."""
+
+from .access import INDIRECT, OTHER, SEQUENTIAL, AccessInfo, affine_root, classify_loads
+from .alias import AliasInfo, access_class
+from .costmodel import DecouplePoint, rank_decouple_points
+from .defs import DefUse, pure_regs
+from .loops import LoopNestInfo, estimated_trip_weight, find_phase_loop
+from .slicing import backward_slice
+
+__all__ = [
+    "INDIRECT",
+    "OTHER",
+    "SEQUENTIAL",
+    "AccessInfo",
+    "affine_root",
+    "classify_loads",
+    "AliasInfo",
+    "access_class",
+    "DecouplePoint",
+    "rank_decouple_points",
+    "DefUse",
+    "pure_regs",
+    "LoopNestInfo",
+    "estimated_trip_weight",
+    "find_phase_loop",
+    "backward_slice",
+]

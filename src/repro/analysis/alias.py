@@ -1,0 +1,51 @@
+"""Aliasing rules (paper Sec. IV-A, "Memory and aliasing").
+
+Phloem requires precise aliasing information via C's ``restrict``: every
+pointer parameter and pointer local is its own alias class, and classes
+never overlap. The *class* of an access is therefore simply the pointer it
+goes through — ``@edges`` (a parameter) or ``cur_fringe`` (a swappable
+pointer local) — which is exactly the guarantee BFS's double-buffered
+fringe relies on in the paper's Fig. 2.
+
+The safety rule the decoupler enforces: a class that is *written* anywhere
+in the kernel must have all its loads and stores in a single stage; other
+stages may at most prefetch it (Fig. 4's race and its resolution).
+"""
+
+from ..ir.stmts import walk
+
+_READ_KINDS = frozenset(["load", "prefetch"])
+_WRITE_KINDS = frozenset(["store", "atomic_rmw"])
+
+
+def access_class(array_operand):
+    """The alias class of an array operand: the pointer it goes through."""
+    return array_operand
+
+
+class AliasInfo:
+    """Read/write sets per alias class for one function body."""
+
+    def __init__(self, body):
+        self.reads = {}
+        self.writes = {}
+        for stmt in walk(body):
+            if stmt.kind in _READ_KINDS:
+                self.reads.setdefault(access_class(stmt.array), []).append(stmt)
+            elif stmt.kind in _WRITE_KINDS:
+                self.writes.setdefault(access_class(stmt.array), []).append(stmt)
+
+    def is_written(self, cls):
+        return cls in self.writes
+
+    def is_read(self, cls):
+        return cls in self.reads
+
+    def written_classes(self):
+        return set(self.writes)
+
+    def value_forwarding_legal(self, cls):
+        """May a load of ``cls`` be performed in one stage and its *value*
+        consumed in another? Only if nothing writes the class (else the
+        forwarded value could be stale — the paper's Fig. 4 race)."""
+        return not self.is_written(cls)

@@ -1,0 +1,68 @@
+"""Loop-nest structure over a region tree.
+
+Provides each statement's enclosing loop chain and depth, and detects the
+*phase loop* — an outermost unbounded loop enclosing the work nest whose
+iterations cannot be overlapped (paper Sec. IV-A, "Program phases", e.g.
+the level loop of BFS or the convergence loop of PageRank-Delta).
+"""
+
+
+class LoopNestInfo:
+    """Maps statements to their enclosing loops within one body."""
+
+    def __init__(self, body):
+        self.body = body
+        self.parent_chain = {}  # id(stmt) -> tuple of enclosing loop stmts
+        self.container = {}  # id(stmt) -> the list that holds the stmt
+        self._index(body, ())
+
+    def _index(self, body, chain):
+        for stmt in body:
+            self.parent_chain[id(stmt)] = chain
+            self.container[id(stmt)] = body
+            inner = chain + (stmt,) if stmt.kind in ("for", "loop") else chain
+            for block in stmt.blocks():
+                self._index(block, inner)
+
+    def loops_of(self, stmt):
+        """Enclosing loops, outermost first."""
+        return self.parent_chain.get(id(stmt), ())
+
+    def depth_of(self, stmt):
+        return len(self.loops_of(stmt))
+
+    def innermost_loop(self, stmt):
+        chain = self.loops_of(stmt)
+        return chain[-1] if chain else None
+
+
+def find_phase_loop(body):
+    """Find a top-level loop that acts as a *phase* loop.
+
+    Heuristic mirroring the paper: the outermost statement list contains a
+    single unbounded ``Loop`` (a lowered ``while``) that itself contains at
+    least one nested loop (the work nest). Counted top-level ``For`` loops
+    over the whole input (e.g. SpMV's row loop) are *not* phases — their
+    iterations pipeline freely.
+    """
+    candidates = [s for s in body if s.kind == "loop"]
+    if len(candidates) != 1:
+        return None
+    loop = candidates[0]
+    has_nest = any(inner.kind in ("for", "loop") for inner in _walk_shallow(loop.body))
+    return loop if has_nest else None
+
+
+def _walk_shallow(body):
+    """Statements of a body including those under Ifs, but not inside loops."""
+    for stmt in body:
+        yield stmt
+        if stmt.kind == "if":
+            for block in stmt.blocks():
+                for inner in _walk_shallow(block):
+                    yield inner
+
+
+def estimated_trip_weight(depth, base=8):
+    """Frequency weight of code at loop ``depth`` (cost model, Sec. V)."""
+    return float(base**depth)

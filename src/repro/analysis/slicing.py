@@ -1,0 +1,40 @@
+"""Backward slicing over a region tree (the decoupler's workhorse).
+
+The producer stage of a decoupling must contain everything needed to compute
+the split load's *address*: the transitive scalar definitions (flow-
+insensitive closure, which is conservative and safe for the structured
+kernels we lower), and any loads those definitions chain through.
+"""
+
+from .defs import DefUse
+
+
+def backward_slice(body, seed_operands, du=None):
+    """Statement ids in the backward slice of ``seed_operands``.
+
+    Returns ``(stmt_ids, regs)``: the defining statements transitively
+    needed, and every register the slice touches.
+    """
+    if du is None:
+        du = DefUse(body)
+    needed = set()
+    sliced = set()
+    work = [op for op in seed_operands if type(op) is str and not op.startswith("@")]
+    while work:
+        reg = work.pop()
+        if reg in needed:
+            continue
+        needed.add(reg)
+        for stmt in du.defining_stmts(reg):
+            if id(stmt) in sliced:
+                continue
+            sliced.add(id(stmt))
+            for use in stmt.uses():
+                if use not in needed:
+                    work.append(use)
+            # Loads pull their array pointer; For headers pull bounds.
+            if stmt.kind == "for":
+                for op in (stmt.lo, stmt.hi, stmt.step):
+                    if type(op) is str and not op.startswith("@") and op not in needed:
+                        work.append(op)
+    return sliced, needed

@@ -1,0 +1,25 @@
+"""Evaluation harness regenerating the paper's figures."""
+
+from .harness import (
+    DP_THREADS,
+    QUICK,
+    GraphBenchAdapter,
+    SpmmBenchAdapter,
+    gmean_speedup,
+    normalized_breakdowns,
+    normalized_energy,
+    profile_guided_pipeline,
+    run_suite,
+)
+
+__all__ = [
+    "DP_THREADS",
+    "QUICK",
+    "GraphBenchAdapter",
+    "SpmmBenchAdapter",
+    "gmean_speedup",
+    "normalized_breakdowns",
+    "normalized_energy",
+    "profile_guided_pipeline",
+    "run_suite",
+]

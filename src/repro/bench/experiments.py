@@ -1,0 +1,443 @@
+"""Per-figure experiment drivers (the evaluation of Sec. VII).
+
+Each ``figN_*`` function regenerates one figure of the paper as structured
+data plus an ASCII rendering. Heavyweight results (the Fig. 9 suite) are
+computed once and shared by the figures that re-slice them (Figs. 10, 11,
+13). Set ``REPRO_QUICK=1`` to shrink the evaluation for smoke runs.
+
+Mirroring the paper's methodology (Sec. VI): PRD and Radii bound their
+simulation time by running on the lower-diameter inputs (the paper uses
+iteration sampling for the same reason); Taco benchmarks use the static
+compilation flow.
+"""
+
+from ..core.autotune import gmean, speedup_distribution
+from ..core.compiler import ALL_PASSES, compile_function, pipeline_summary
+from ..frontend.lowering import compile_source
+from ..pipette.config import SCALED_1CORE
+from ..runtime.executor import run_pipeline, run_serial
+from ..taco import kernels as taco_kernels
+from ..taco.parallel import stripe_data_parallel
+from ..workloads import bfs, cc, datasets, graphs, prd, radii, replicated, spmm
+from ..pipette.config import SCALED_4CORE
+from ..runtime.executor import run_replicated
+from ..workloads.dataflow import dataflow_variant
+from . import report
+from .harness import (
+    DP_THREADS,
+    QUICK,
+    GraphBenchAdapter,
+    SpmmBenchAdapter,
+    gmean_speedup,
+    normalized_breakdowns,
+    normalized_energy,
+    profile_guided_pipeline,
+    run_suite,
+)
+
+#: Per-benchmark test inputs (PRD/Radii use the low-diameter subset).
+_GRAPH_INPUT_NAMES = {
+    "bfs": ["coauthors", "hugetrace", "freescale", "skitter", "road-usa"],
+    "cc": ["coauthors", "hugetrace", "freescale", "skitter", "road-usa"],
+    "prd": ["coauthors", "freescale", "skitter"],
+    "radii": ["coauthors", "freescale", "skitter"],
+}
+
+
+def _inputs_for(name):
+    names = _GRAPH_INPUT_NAMES[name]
+    if QUICK:
+        names = names[:2]
+    return [datasets.graph_by_name(n) for n in names]
+
+
+def _spmm_inputs():
+    items = datasets.TEST_MATRICES_SPMM
+    return items[:2] if QUICK else items
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — BFS pass ablation
+
+
+FIG6_VARIANTS = [
+    ("Dataflow-style", None),  # the Dynamatic-like negative result
+    ("Q", ()),
+    ("R+Q", ("recompute",)),
+    ("CV+R+Q", ("recompute", "cv")),
+    ("DCE+CV+R+Q", ("recompute", "cv", "dce")),
+    ("CH+DCE+CV+R+Q", ("recompute", "cv", "dce", "handlers")),
+    ("RA+R+Q", ("recompute", "ra")),
+    ("All passes", ALL_PASSES),
+    ("Manually pipelined", "manual"),
+]
+
+
+def fig6_pass_ablation(config=SCALED_1CORE, input_name="freescale"):
+    """Speedup over serial BFS with each added pass (paper Fig. 6)."""
+    graph = datasets.graph_by_name(input_name).build()
+    arrays, scalars = bfs.make_env(graph)
+    function = bfs.function()
+    serial = run_serial(function, arrays, scalars, config=config)
+    assert bfs.check(serial.arrays, graph)
+
+    speedups = {}
+    for label, passes in FIG6_VARIANTS:
+        if passes == "manual":
+            pipeline = bfs.manual_pipeline()
+        elif passes is None:
+            pipeline = dataflow_variant(function)
+        else:
+            pipeline = compile_function(function, num_stages=4, passes=passes)
+        result = run_pipeline(pipeline, arrays, scalars, config=config)
+        if not bfs.check(result.arrays, graph):
+            raise AssertionError("fig6 variant %r produced wrong distances" % label)
+        speedups[label] = serial.cycles / result.cycles
+
+    text = report.render_table(
+        "Fig. 6: BFS speedup with each added pass (input: %s)" % input_name,
+        ["variant", "speedup over serial"],
+        [[k, v] for k, v in speedups.items()],
+    )
+    return {"speedups": speedups, "text": text}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9/10/11 — overall comparison suite (computed once)
+
+_SUITES = {}
+
+
+def ensure_suites(config=SCALED_1CORE):
+    """Run the Fig. 9 suite for all five benchmarks (cached)."""
+    if _SUITES:
+        return _SUITES
+    for name, module in (("bfs", bfs), ("cc", cc), ("prd", prd), ("radii", radii)):
+        adapter = GraphBenchAdapter(module)
+        _SUITES[name] = run_suite(
+            adapter, _inputs_for(name), datasets.TRAIN_GRAPHS, config=config
+        )
+    adapter = SpmmBenchAdapter(spmm)
+    _SUITES["spmm"] = run_suite(
+        adapter, _spmm_inputs(), datasets.TRAIN_MATRICES_SPMM, config=config
+    )
+    return _SUITES
+
+
+def fig9_overall_speedup(config=SCALED_1CORE):
+    """Per-benchmark speedups over serial (paper Fig. 9)."""
+    suites = ensure_suites(config)
+    table = {}
+    for name, suite in suites.items():
+        table[name] = {
+            variant: gmean_speedup(runs)
+            for variant, runs in suite.items()
+            if not variant.startswith("_")
+        }
+        for variant, runs in suite.items():
+            if variant.startswith("_"):
+                continue
+            bad = [r for r in runs if not r.ok]
+            if bad:
+                raise AssertionError("fig9 %s/%s failed validation: %s" % (name, variant, bad))
+    text = report.render_speedups("Fig. 9: gmean speedup over serial", table)
+    return {"speedups": table, "text": text}
+
+
+def fig10_cycle_breakdown(config=SCALED_1CORE):
+    """Cycle breakdowns normalized to serial (paper Fig. 10)."""
+    suites = ensure_suites(config)
+    table = {name: normalized_breakdowns(suite) for name, suite in suites.items()}
+    text = report.render_stacked(
+        "Fig. 10: cycles normalized to serial (issue/backend/queue/other)",
+        table,
+        ["issue", "backend", "queue", "other"],
+    )
+    return {"breakdowns": table, "text": text}
+
+
+def fig11_energy_breakdown(config=SCALED_1CORE):
+    """Energy breakdowns normalized to serial (paper Fig. 11)."""
+    suites = ensure_suites(config)
+    table = {name: normalized_energy(suite) for name, suite in suites.items()}
+    text = report.render_stacked(
+        "Fig. 11: energy normalized to serial",
+        table,
+        ["core_dynamic", "core_static", "cache", "dram"],
+    )
+    return {"energy": table, "text": text}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — Taco benchmarks
+
+
+def _taco_cases():
+    matrices = datasets.TEST_MATRICES_TACO
+    if QUICK:
+        matrices = matrices[:2]
+    cases = []
+    for matrix_input in matrices:
+        m = matrix_input.build()
+        cases.append((matrix_input.name, m))
+    return cases
+
+
+def fig12_taco(config=SCALED_1CORE):
+    """Taco kernels: serial vs data-parallel vs Phloem-static (paper Fig. 12)."""
+    specs = [
+        ("spmv", taco_kernels.spmv_kernel(), lambda m: {"A": m, "x": taco_kernels.dense_input(m.ncols, 1)}, ()),
+        (
+            "residual",
+            taco_kernels.residual_kernel(),
+            lambda m: {
+                "A": m,
+                "x": taco_kernels.dense_input(m.ncols, 1),
+                "b": taco_kernels.dense_input(m.nrows, 2),
+            },
+            (),
+        ),
+        (
+            "mtmul",
+            taco_kernels.mtmul_kernel(),
+            lambda m: {
+                "A": m,
+                "x": taco_kernels.dense_input(m.nrows, 4),
+                "z": taco_kernels.dense_input(m.ncols, 3),
+                "alpha": taco_kernels.ALPHA,
+                "beta": taco_kernels.BETA,
+            },
+            ("y",),
+        ),
+        (
+            "sddmm",
+            taco_kernels.sddmm_kernel(),
+            lambda m: {
+                "B": m,
+                "C": (taco_kernels.dense_input(m.nrows * 12, 5), 12),
+                "D": (taco_kernels.dense_input(12 * m.ncols, 6), m.ncols),
+            },
+            (),
+        ),
+    ]
+
+    table = {}
+    for kname, kernel, data_builder, atomic_arrays in specs:
+        function = compile_source(kernel.source)
+        pipeline = compile_function(function, num_stages=4, passes=ALL_PASSES)
+        dp = stripe_data_parallel(function, DP_THREADS, atomic_arrays=atomic_arrays)
+        serial_speeds, dp_speeds, phloem_speeds = [], [], []
+        for mat_name, matrix in _taco_cases():
+            if kname == "sddmm" and matrix.nrows > 2500:
+                continue  # the dense k-loop makes big inputs slow to simulate
+            arrays, scalars = kernel.bind(data_builder(matrix))
+            serial = run_serial(function, arrays, scalars, config=config)
+            presult = run_pipeline(pipeline, arrays, scalars, config=config)
+            dp_scalars = dict(scalars)
+            dp_scalars["nthreads"] = DP_THREADS
+            dresult = run_pipeline(dp, arrays, dp_scalars, config=config)
+            serial_speeds.append(1.0)
+            phloem_speeds.append(serial.cycles / presult.cycles)
+            dp_speeds.append(serial.cycles / dresult.cycles)
+        from ..core.autotune import gmean
+
+        table[kname] = {
+            "serial": 1.0,
+            "data-parallel": gmean(dp_speeds),
+            "phloem-static": gmean(phloem_speeds),
+        }
+    text = report.render_speedups("Fig. 12: Taco benchmark gmean speedups", table)
+    return {"speedups": table, "text": text}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — pipeline-length distribution from the search
+
+
+def fig13_stage_distribution(config=SCALED_1CORE):
+    """Distribution of profiled pipeline speedups by stage count (Fig. 13)."""
+    table = {}
+
+    suites = ensure_suites(config)
+    for name in ("bfs", "spmm"):
+        search = suites[name].get("_search")
+        if search:
+            table[name] = speedup_distribution(search)
+
+    # SpMV: run the search against its training matrices.
+    kernel = taco_kernels.spmv_kernel()
+    function = compile_source(kernel.source)
+
+    train = datasets.TRAIN_MATRICES_SPMM
+    baselines = {}
+    envs = {}
+    for item in train:
+        m = item.build()
+        arrays, scalars = kernel.bind({"A": m, "x": taco_kernels.dense_input(m.ncols, 1)})
+        envs[item.name] = (arrays, scalars)
+        baselines[item.name] = run_serial(function, arrays, scalars, config=config).cycles
+
+    from ..core.autotune import gmean, search_pipelines
+
+    def evaluate(pipeline):
+        speeds = []
+        for item in train:
+            arrays, scalars = envs[item.name]
+            result = run_pipeline(pipeline, arrays, scalars, config=config)
+            speeds.append(baselines[item.name] / result.cycles)
+        return gmean(speeds)
+
+    _, results = search_pipelines(function, evaluate, max_stages=4, top_k=5, limit=40)
+    table["spmv"] = speedup_distribution(results)
+
+    text = report.render_distribution(
+        "Fig. 13: training-set speedup distribution vs pipeline length", table
+    )
+    return {"distributions": table, "text": text}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — replicated pipelines on 4 cores x 4 threads
+
+
+def _fig14_graph(app):
+    if QUICK:
+        return graphs.uniform_random(6000, 5, seed=71)
+    if app in ("bfs", "cc"):
+        return graphs.uniform_random(16000, 5, seed=71)
+    return graphs.uniform_random(3000, 5, seed=72)
+
+
+def _fig14_check(app, module, arrays, graph, variant):
+    if app == "prd":
+        exact = variant == "serial"
+        return module.check(arrays, graph, exact=exact, tol=1e-6)
+    return module.check(arrays, graph)
+
+
+def fig14_replication(config=SCALED_4CORE, replicas=4):
+    """BFS/CC/PRD/Radii replicated over 4 cores (paper Fig. 14).
+
+    Compares a single-thread serial run, a 16-thread data-parallel run,
+    the replicated+distributed pipelines ("Phloem" bars), and hand-tuned
+    replicated variants ("Manual" bars; for BFS a leaner source-sharded
+    2-stage pipeline exploiting BFS's benign same-value races).
+    """
+    modules = {"bfs": bfs, "cc": cc, "prd": prd, "radii": radii}
+    table = {}
+    for app, module in modules.items():
+        graph = _fig14_graph(app)
+        arrays, scalars = module.make_env(graph)
+        function = module.function()
+        serial = run_serial(function, arrays, scalars, config=config)
+        if not _fig14_check(app, module, serial.arrays, graph, "serial"):
+            raise AssertionError("fig14 %s serial failed validation" % app)
+        entry = {"serial": 1.0}
+
+        # Data-parallel over all 16 threads (4 per core).
+        threads = config.cores * config.smt_threads
+        dp = module.data_parallel(threads)
+        dp_arrays, dp_scalars = module.make_env_dp(graph, threads)
+        stage_cores = [i // config.smt_threads for i in range(threads)]
+        dresult = run_pipeline(dp, dp_arrays, dp_scalars, config=config, stage_cores=stage_cores)
+        if not _fig14_check(app, module, dresult.arrays, graph, "data-parallel"):
+            raise AssertionError("fig14 %s data-parallel failed validation" % app)
+        entry["data-parallel"] = serial.cycles / dresult.cycles
+
+        if app == "bfs":
+            # BFS's flat pipeline goes through the fully automatic
+            # replicate+distribute transform on the compiled pipeline.
+            from ..core.replicate import replicate_pipeline
+
+            compiled = compile_function(module.function(), num_stages=4, passes=ALL_PASSES)
+            clones = replicate_pipeline(compiled, replicas)
+            cases = [("phloem", lambda rid, _r: clones[rid])]
+        else:
+            cases = [("phloem", replicated.BUILDERS[app])]
+        cases.append(("manual", replicated.MANUAL_BUILDERS[app]))
+        if app == "bfs":
+            # Ablation supporting the distribute pragma: replication alone
+            # leaves all discovered work with the replica that found it.
+            cases.append(("no-distribute", replicated.bfs_replicated_nodist))
+        for variant, builder in cases:
+            pipelines = [builder(rid, replicas) for rid in range(replicas)]
+            envs = replicated.make_envs(app, graph, replicas)
+            result = run_replicated(
+                [(pipelines[r], envs[r][0], envs[r][1], r) for r in range(replicas)],
+                config,
+            )
+            if not _fig14_check(app, module, result.arrays, graph, variant):
+                raise AssertionError("fig14 %s %s failed validation" % (app, variant))
+            entry[variant] = serial.cycles / result.cycles
+        table[app] = entry
+
+    text = report.render_speedups(
+        "Fig. 14: replicated pipelines on %d cores (speedup over 1-thread serial)" % 4,
+        table,
+    )
+    return {"speedups": table, "text": text}
+
+
+# ---------------------------------------------------------------------------
+# Extension: ablations of the architectural design choices (beyond the
+# paper's figures, supporting DESIGN.md's parameter decisions)
+
+
+def ablation_design_choices(config=SCALED_1CORE):
+    """Sweep the Pipette parameters the paper fixes in Table III.
+
+    Uses the fully-optimized BFS pipeline on the freescale input and
+    reports speedup over serial as one parameter varies at a time:
+    queue depth (24 in the paper), RA parallelism, the prefetcher, and
+    spatial (cross-core) vs SMT stage placement.
+    """
+    from dataclasses import replace
+
+    graph = datasets.graph_by_name("freescale" if not QUICK else "coauthors").build()
+    arrays, scalars = bfs.make_env(graph)
+    function = bfs.function()
+    serial = run_serial(function, arrays, scalars, config=config)
+
+    table = {}
+
+    depth_row = {}
+    for depth in (2, 4, 8, 24, 64):
+        pipeline = compile_function(
+            function, num_stages=4, passes=ALL_PASSES, queue_capacity=depth
+        )
+        result = run_pipeline(pipeline, arrays, scalars, config=config)
+        assert bfs.check(result.arrays, graph)
+        depth_row["depth=%d" % depth] = serial.cycles / result.cycles
+    table["queue depth"] = depth_row
+
+    pipeline = compile_function(function, num_stages=4, passes=ALL_PASSES)
+    mshr_row = {}
+    for mshrs in (1, 4, 16, 32):
+        cfg = replace(config, ra_mshrs=mshrs)
+        result = run_pipeline(pipeline, arrays, scalars, config=cfg)
+        mshr_row["ra_mshrs=%d" % mshrs] = serial.cycles / result.cycles
+    table["RA parallelism"] = mshr_row
+
+    pf_row = {}
+    for enabled in (False, True):
+        cfg = replace(config, prefetch_enabled=enabled)
+        base = run_serial(function, arrays, scalars, config=cfg)
+        result = run_pipeline(pipeline, arrays, scalars, config=cfg)
+        pf_row["prefetch=%s" % enabled] = base.cycles / result.cycles
+    table["stride prefetcher"] = pf_row
+
+    place_row = {}
+    cfg4 = replace(config, cores=4)
+    smt = run_pipeline(pipeline, arrays, scalars, config=cfg4)
+    place_row["SMT (1 core)"] = serial.cycles / smt.cycles
+    spatial = run_pipeline(
+        pipeline, arrays, scalars, config=cfg4,
+        stage_cores=list(range(len(pipeline.stages))),
+    )
+    place_row["spatial (1 stage/core)"] = serial.cycles / spatial.cycles
+    table["stage placement"] = place_row
+
+    text = report.render_speedups(
+        "Ablation (extension): Pipette design parameters on BFS", table
+    )
+    return {"speedups": table, "text": text}

@@ -1,0 +1,243 @@
+"""Benchmark harness: runs paper-style comparisons and aggregates results.
+
+Wraps each benchmark module behind a uniform adapter (inputs in, arrays +
+oracle check out), runs the variants the paper compares — Serial,
+Data-parallel, Phloem (profile-guided and static), Manually pipelined —
+and aggregates per-input speedups with geometric means, as every figure in
+Sec. VII does.
+"""
+
+import os
+
+from ..core.autotune import gmean, search_pipelines
+from ..core.compiler import ALL_PASSES, compile_function
+from ..errors import PhloemError
+from ..pipette.config import SCALED_1CORE
+from ..runtime.executor import run_pipeline, run_serial
+
+#: Environment switch: REPRO_QUICK=1 shrinks the evaluation (fewer inputs).
+QUICK = bool(os.environ.get("REPRO_QUICK"))
+
+#: SMT width used for single-core data-parallel baselines.
+DP_THREADS = 4
+
+
+class VariantRun:
+    """One (variant, input) execution."""
+
+    __slots__ = ("variant", "input_name", "cycles", "ok", "breakdown", "energy", "meta")
+
+    def __init__(self, variant, input_name, cycles, ok, breakdown, energy, meta=None):
+        self.variant = variant
+        self.input_name = input_name
+        self.cycles = cycles
+        self.ok = ok
+        self.breakdown = breakdown
+        self.energy = energy
+        self.meta = meta or {}
+
+    def __repr__(self):
+        return "VariantRun(%s/%s: %.0f cycles, ok=%s)" % (
+            self.variant,
+            self.input_name,
+            self.cycles,
+            self.ok,
+        )
+
+
+class GraphBenchAdapter:
+    """Adapter for the fringe-based graph benchmarks (BFS/CC/PRD/Radii)."""
+
+    def __init__(self, module):
+        self.module = module
+        self.name = module.NAME
+
+    def function(self):
+        return self.module.function()
+
+    def env(self, graph):
+        return self.module.make_env(graph)
+
+    def dp_pipeline(self, nthreads):
+        return self.module.data_parallel(nthreads)
+
+    def dp_env(self, graph, nthreads):
+        return self.module.make_env_dp(graph, nthreads)
+
+    def manual(self):
+        return self.module.manual_pipeline()
+
+    def check(self, arrays, graph):
+        if self.name == "prd":
+            return self.module.check(arrays, graph, exact=True)
+        return self.module.check(arrays, graph)
+
+    def check_dp(self, arrays, graph):
+        if self.name == "prd":
+            return self.module.check(arrays, graph, exact=False, tol=1e-6)
+        return self.module.check(arrays, graph)
+
+
+class SpmmBenchAdapter:
+    """Adapter for SpMM (matrix inputs)."""
+
+    def __init__(self, module):
+        self.module = module
+        self.name = module.NAME
+
+    def function(self):
+        return self.module.function()
+
+    def env(self, matrix):
+        return self.module.make_env(matrix)
+
+    def dp_pipeline(self, nthreads):
+        return self.module.data_parallel(nthreads)
+
+    def dp_env(self, matrix, nthreads):
+        return self.module.make_env_dp(matrix, nthreads)
+
+    def manual(self):
+        return self.module.manual_pipeline()
+
+    def check(self, arrays, matrix):
+        return self.module.check(arrays, matrix)
+
+    check_dp = check
+
+
+def _record(variant, input_name, result, ok):
+    return VariantRun(
+        variant,
+        input_name,
+        result.cycles,
+        ok,
+        result.breakdown(),
+        result.energy().as_dict(),
+    )
+
+
+def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stages=4, top_k=5, limit=40):
+    """Run the paper's profile-guided search; returns (best, all results).
+
+    The evaluator scores each candidate by gmean speedup over serial on the
+    training inputs, mirroring Sec. VI-C.
+    """
+    function = adapter.function()
+    baselines = {}
+    envs = {}
+    for item in train_inputs:
+        arrays, scalars = adapter.env(item.build())
+        envs[item.name] = (arrays, scalars)
+        baselines[item.name] = run_serial(function, arrays, scalars, config=config).cycles
+
+    def evaluate(pipeline):
+        speeds = []
+        for item in train_inputs:
+            arrays, scalars = envs[item.name]
+            result = run_pipeline(pipeline, arrays, scalars, config=config)
+            speeds.append(baselines[item.name] / result.cycles)
+        return gmean(speeds)
+
+    return search_pipelines(function, evaluate, max_stages=max_stages, top_k=top_k, limit=limit)
+
+
+def run_suite(adapter, test_inputs, train_inputs, config=SCALED_1CORE, variants=None, num_stages=4):
+    """Run all requested variants on all test inputs.
+
+    Returns ``{variant: [VariantRun, ...]}`` plus the search results under
+    the key ``"_search"`` when the profile-guided variant ran.
+    """
+    variants = variants or ("serial", "data-parallel", "phloem", "phloem-static", "manual")
+    function = adapter.function()
+    out = {v: [] for v in variants}
+
+    static_pipeline = None
+    if "phloem-static" in variants or "phloem" in variants:
+        static_pipeline = compile_function(function, num_stages=num_stages, passes=ALL_PASSES)
+
+    best = None
+    if "phloem" in variants:
+        try:
+            best, results = profile_guided_pipeline(adapter, train_inputs, config=config, max_stages=num_stages)
+            out["_search"] = results
+        except PhloemError:
+            best = None
+    pgo_pipeline = best.pipeline if best is not None else static_pipeline
+
+    manual_pipeline = adapter.manual() if "manual" in variants else None
+    dp_pipeline = adapter.dp_pipeline(DP_THREADS) if "data-parallel" in variants else None
+
+    for item in test_inputs:
+        data = item.build()
+        arrays, scalars = adapter.env(data)
+        serial_result = run_serial(function, arrays, scalars, config=config)
+        serial_ok = adapter.check(serial_result.arrays, data)
+        if "serial" in variants:
+            out["serial"].append(_record("serial", item.name, serial_result, serial_ok))
+
+        if "data-parallel" in variants:
+            dp_arrays, dp_scalars = adapter.dp_env(data, DP_THREADS)
+            result = run_pipeline(dp_pipeline, dp_arrays, dp_scalars, config=config)
+            run = _record("data-parallel", item.name, result, adapter.check_dp(result.arrays, data))
+            run.meta["speedup"] = serial_result.cycles / result.cycles
+            out["data-parallel"].append(run)
+
+        for variant, pipeline in (("phloem", pgo_pipeline), ("phloem-static", static_pipeline), ("manual", manual_pipeline)):
+            if variant not in variants or pipeline is None:
+                continue
+            result = run_pipeline(pipeline, arrays, scalars, config=config)
+            run = _record(variant, item.name, result, adapter.check(result.arrays, data))
+            run.meta["speedup"] = serial_result.cycles / result.cycles
+            out[variant].append(run)
+        if "serial" in variants:
+            out["serial"][-1].meta["speedup"] = 1.0
+    return out
+
+
+def gmean_speedup(runs):
+    """Geometric-mean speedup over serial across a variant's runs."""
+    speeds = [r.meta.get("speedup") for r in runs if "speedup" in r.meta]
+    if not speeds:
+        return float("nan")
+    return gmean(speeds)
+
+
+def normalized_breakdowns(suite):
+    """Average cycle breakdowns normalized to the serial baseline (Fig. 10)."""
+    serial_cycles = {r.input_name: r.cycles for r in suite.get("serial", [])}
+    out = {}
+    for variant, runs in suite.items():
+        if variant.startswith("_"):
+            continue
+        rows = []
+        for run in runs:
+            base = serial_cycles.get(run.input_name)
+            if not base:
+                continue
+            rows.append({k: v / base for k, v in run.breakdown.items()})
+        if rows:
+            keys = rows[0].keys()
+            out[variant] = {k: sum(r[k] for r in rows) / len(rows) for k in keys}
+    return out
+
+
+def normalized_energy(suite):
+    """Average energy normalized to serial (Fig. 11)."""
+    serial_energy = {
+        r.input_name: sum(r.energy.values()) for r in suite.get("serial", [])
+    }
+    out = {}
+    for variant, runs in suite.items():
+        if variant.startswith("_"):
+            continue
+        rows = []
+        for run in runs:
+            base = serial_energy.get(run.input_name)
+            if not base:
+                continue
+            rows.append({k: v / base for k, v in run.energy.items()})
+        if rows:
+            keys = rows[0].keys()
+            out[variant] = {k: sum(r[k] for r in rows) / len(rows) for k in keys}
+    return out

@@ -1,0 +1,65 @@
+"""ASCII renderers for the evaluation figures.
+
+The paper's figures are bar charts; this module prints them as aligned
+tables (one row per benchmark/variant) so ``pytest benchmarks/`` output
+reads like the evaluation section.
+"""
+
+
+def render_table(title, headers, rows):
+    """Generic aligned table."""
+    widths = [len(h) for h in headers]
+    str_rows = []
+    for row in rows:
+        cells = [c if isinstance(c, str) else _fmt(c) for c in row]
+        str_rows.append(cells)
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["", "== %s ==" % title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in str_rows:
+        lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(cells))))
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return "%.2f" % value
+    return str(value)
+
+
+def render_speedups(title, per_benchmark):
+    """``{benchmark: {variant: speedup}}`` -> table."""
+    variants = []
+    for entries in per_benchmark.values():
+        for v in entries:
+            if v not in variants:
+                variants.append(v)
+    headers = ["benchmark"] + variants
+    rows = []
+    for name, entries in per_benchmark.items():
+        rows.append([name] + [entries.get(v, float("nan")) for v in variants])
+    return render_table(title, headers, rows)
+
+
+def render_stacked(title, per_benchmark, components):
+    """``{benchmark: {variant: {component: value}}}`` -> stacked rows."""
+    headers = ["benchmark", "variant"] + list(components) + ["total"]
+    rows = []
+    for name, variants in per_benchmark.items():
+        for variant, comps in variants.items():
+            values = [comps.get(c, 0.0) for c in components]
+            rows.append([name, variant] + values + [sum(values)])
+    return render_table(title, headers, rows)
+
+
+def render_distribution(title, per_benchmark):
+    """``{benchmark: {units: [speedups]}}`` -> Fig. 13-style summary rows."""
+    headers = ["benchmark", "stages+RAs", "count", "min", "median", "max"]
+    rows = []
+    for name, dist in per_benchmark.items():
+        for units, speeds in sorted(dist.items()):
+            mid = speeds[len(speeds) // 2]
+            rows.append([name, str(units), str(len(speeds)), min(speeds), mid, max(speeds)])
+    return render_table(title, headers, rows)

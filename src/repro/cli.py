@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how the paper's artifact would be driven:
+
+* ``emit FILE.c`` — run the Phloem compiler on a mini-C kernel and print
+  the pipeline (pseudo-C, IR, or a one-line summary);
+* ``demo BENCH`` — run one benchmark (bfs/cc/prd/radii/spmm) on a synthetic
+  input, comparing serial / data-parallel / Phloem / manual;
+* ``search BENCH`` — run the profile-guided pipeline search and print the
+  Fig. 13-style distribution;
+* ``figures [NAME...]`` — regenerate evaluation figures (fig6..fig14).
+"""
+
+import argparse
+import sys
+
+from .core import ALL_PASSES, compile_function, emit_pipeline, pipeline_summary
+from .frontend import compile_source
+from .ir import format_pipeline
+from .pipette import SCALED_1CORE
+from .runtime import run_pipeline, run_serial
+
+
+def _cmd_emit(args):
+    with open(args.file) as handle:
+        source = handle.read()
+    function = compile_source(source, name=args.name)
+    passes = ALL_PASSES if args.passes is None else tuple(args.passes.split(","))
+    passes = tuple(p for p in passes if p)
+    pipeline = compile_function(function, num_stages=args.stages, passes=passes)
+    if args.format == "summary":
+        print(pipeline_summary(pipeline))
+    elif args.format == "ir":
+        print(format_pipeline(pipeline))
+    elif args.format == "diagram":
+        from .core.viz import ascii_diagram
+
+        print(ascii_diagram(pipeline))
+    else:
+        print(emit_pipeline(pipeline))
+    return 0
+
+
+def _demo_graph(args):
+    from .workloads import GRAPH_BENCHMARKS
+    from .workloads.graphs import uniform_random
+
+    module = GRAPH_BENCHMARKS[args.bench]
+    graph = uniform_random(args.size, 5, seed=args.seed)
+    print("input: %r" % graph)
+    arrays, scalars = module.make_env(graph)
+    function = module.function()
+    serial = run_serial(function, arrays, scalars, config=SCALED_1CORE)
+    rows = [("serial", serial.cycles, module.check(serial.arrays, graph))]
+
+    dp = module.data_parallel(4)
+    dp_env = module.make_env_dp(graph, 4)
+    dresult = run_pipeline(dp, dp_env[0], dp_env[1], config=SCALED_1CORE)
+    ok = (
+        module.check(dresult.arrays, graph, exact=False, tol=1e-6)
+        if args.bench == "prd"
+        else module.check(dresult.arrays, graph)
+    )
+    rows.append(("data-parallel", dresult.cycles, ok))
+
+    pipeline = compile_function(function, num_stages=args.stages, passes=ALL_PASSES)
+    presult = run_pipeline(pipeline, arrays, scalars, config=SCALED_1CORE)
+    rows.append(("phloem", presult.cycles, module.check(presult.arrays, graph)))
+
+    manual = module.manual_pipeline()
+    mresult = run_pipeline(manual, arrays, scalars, config=SCALED_1CORE)
+    rows.append(("manual", mresult.cycles, module.check(mresult.arrays, graph)))
+    return rows, serial.cycles, pipeline
+
+
+def _demo_spmm(args):
+    from .workloads import spmm
+    from .workloads.matrices import random_matrix
+
+    matrix = random_matrix(max(40, args.size // 40), 8, seed=args.seed)
+    print("input: %r" % matrix)
+    arrays, scalars = spmm.make_env(matrix)
+    function = spmm.function()
+    serial = run_serial(function, arrays, scalars, config=SCALED_1CORE)
+    rows = [("serial", serial.cycles, spmm.check(serial.arrays, matrix))]
+    dp = spmm.data_parallel(4)
+    dp_env = spmm.make_env_dp(matrix, 4)
+    dresult = run_pipeline(dp, dp_env[0], dp_env[1], config=SCALED_1CORE)
+    rows.append(("data-parallel", dresult.cycles, spmm.check(dresult.arrays, matrix)))
+    pipeline = compile_function(function, num_stages=args.stages, passes=ALL_PASSES)
+    presult = run_pipeline(pipeline, arrays, scalars, config=SCALED_1CORE)
+    rows.append(("phloem", presult.cycles, spmm.check(presult.arrays, matrix)))
+    manual = spmm.manual_pipeline()
+    mresult = run_pipeline(manual, arrays, scalars, config=SCALED_1CORE)
+    rows.append(("manual", mresult.cycles, spmm.check(mresult.arrays, matrix)))
+    return rows, serial.cycles, pipeline
+
+
+def _cmd_demo(args):
+    if args.bench == "spmm":
+        rows, base, pipeline = _demo_spmm(args)
+    else:
+        rows, base, pipeline = _demo_graph(args)
+    print("phloem pipeline: %s\n" % pipeline_summary(pipeline))
+    print("%-16s %14s %9s %6s" % ("variant", "cycles", "speedup", "ok"))
+    for name, cycles, ok in rows:
+        print("%-16s %14.0f %8.2fx %6s" % (name, cycles, base / cycles, ok))
+        if not ok:
+            return 1
+    return 0
+
+
+def _cmd_search(args):
+    from .bench.harness import GraphBenchAdapter, SpmmBenchAdapter, profile_guided_pipeline
+    from .bench.report import render_distribution
+    from .core.autotune import speedup_distribution
+    from .workloads import GRAPH_BENCHMARKS, datasets, spmm
+
+    if args.bench == "spmm":
+        adapter = SpmmBenchAdapter(spmm)
+        train = datasets.TRAIN_MATRICES_SPMM
+    else:
+        adapter = GraphBenchAdapter(GRAPH_BENCHMARKS[args.bench])
+        train = datasets.TRAIN_GRAPHS
+    best, results = profile_guided_pipeline(adapter, train, config=SCALED_1CORE)
+    print(render_distribution("training-set speedups by pipeline length", {args.bench: speedup_distribution(results)}))
+    if best is not None:
+        print("\nbest: %r" % best)
+        print("      %s" % pipeline_summary(best.pipeline))
+    return 0
+
+
+_FIGURES = {
+    "fig6": "fig6_pass_ablation",
+    "fig9": "fig9_overall_speedup",
+    "fig10": "fig10_cycle_breakdown",
+    "fig11": "fig11_energy_breakdown",
+    "fig12": "fig12_taco",
+    "fig13": "fig13_stage_distribution",
+    "fig14": "fig14_replication",
+}
+
+
+def _cmd_figures(args):
+    from .bench import experiments
+
+    names = args.names or sorted(_FIGURES)
+    for name in names:
+        if name not in _FIGURES:
+            print("unknown figure %r (choose from %s)" % (name, ", ".join(sorted(_FIGURES))))
+            return 2
+        result = getattr(experiments, _FIGURES[name])()
+        print(result["text"])
+        print()
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Phloem reproduction: compile, simulate, and evaluate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    emit = sub.add_parser("emit", help="compile a mini-C kernel and print the pipeline")
+    emit.add_argument("file")
+    emit.add_argument("--name", default=None, help="kernel name if the file has several")
+    emit.add_argument("--stages", type=int, default=4)
+    emit.add_argument("--passes", default=None, help="comma-separated pass subset")
+    emit.add_argument("--format", choices=("c", "ir", "summary", "diagram"), default="c")
+    emit.set_defaults(func=_cmd_emit)
+
+    demo = sub.add_parser("demo", help="run one benchmark across all variants")
+    demo.add_argument("bench", choices=("bfs", "cc", "prd", "radii", "spmm"))
+    demo.add_argument("--size", type=int, default=4000)
+    demo.add_argument("--seed", type=int, default=1)
+    demo.add_argument("--stages", type=int, default=4)
+    demo.set_defaults(func=_cmd_demo)
+
+    search = sub.add_parser("search", help="profile-guided pipeline search")
+    search.add_argument("bench", choices=("bfs", "cc", "prd", "radii", "spmm"))
+    search.set_defaults(func=_cmd_search)
+
+    figures = sub.add_parser("figures", help="regenerate evaluation figures")
+    figures.add_argument("names", nargs="*", metavar="figN")
+    figures.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Profile-guided pipeline search (paper Sec. V, "Autotuning decoupling
+points", and Fig. 8's shaded flow).
+
+The static cost model is necessarily approximate: cache behaviour and loop
+lengths are input-dependent. The profile-guided mode takes more candidate
+decoupling points than stages, builds *every* pipeline from combinations of
+the top-ranked points, profiles each on small training inputs, and keeps
+the best. This module is generic over how a pipeline is scored: the caller
+supplies ``evaluate(pipeline) -> gmean speedup`` (the bench harness closes
+over the training inputs, mirroring the paper's internet/USA-road-d-NY and
+email-Enron/wiki-Vote training sets).
+"""
+
+import itertools
+import math
+
+from ..analysis.costmodel import rank_decouple_points
+from ..errors import CompileError, PhloemError
+from .compiler import ALL_PASSES, compile_function
+from .phases import prepare_phases
+
+
+class CandidateResult:
+    """One profiled pipeline from the search."""
+
+    __slots__ = ("indices", "pipeline", "num_units", "speedup")
+
+    def __init__(self, indices, pipeline, speedup):
+        self.indices = indices
+        self.pipeline = pipeline
+        self.num_units = pipeline.num_units
+        self.speedup = speedup
+
+    def __repr__(self):
+        return "Candidate(points=%s, units=%d, speedup=%.2f)" % (
+            list(self.indices),
+            self.num_units,
+            self.speedup,
+        )
+
+
+def candidate_count(function, top_k=7):
+    """How many ranked points the search can draw from."""
+    work = function.clone()
+    prepare_phases(work)
+    return min(top_k, len(rank_decouple_points(work)))
+
+
+def search_pipelines(
+    function,
+    evaluate,
+    max_stages=4,
+    top_k=7,
+    passes=ALL_PASSES,
+    limit=80,
+    keep_failures=False,
+):
+    """Enumerate, compile, and profile candidate pipelines.
+
+    Returns ``(best, results)`` where ``best`` is the highest-speedup
+    :class:`CandidateResult` (None if nothing compiled) and ``results``
+    holds every profiled candidate — the distribution Fig. 13 plots.
+    Combinations the compiler rejects (alias races, backward control) are
+    skipped, exactly as untransformable candidates should be.
+    """
+    k = candidate_count(function, top_k)
+    combos = []
+    for size in range(1, max_stages):
+        combos.extend(itertools.combinations(range(k), size))
+    if limit is not None:
+        combos = combos[:limit]
+
+    results = []
+    failures = []
+    for indices in combos:
+        try:
+            pipeline = compile_function(
+                function, num_stages=len(indices) + 1, passes=passes, point_indices=indices
+            )
+        except PhloemError as exc:
+            failures.append((indices, str(exc)))
+            continue
+        try:
+            speedup = evaluate(pipeline)
+        except PhloemError as exc:
+            failures.append((indices, str(exc)))
+            continue
+        results.append(CandidateResult(indices, pipeline, speedup))
+
+    best = max(results, key=lambda r: r.speedup) if results else None
+    if keep_failures:
+        return best, results, failures
+    return best, results
+
+
+def gmean(values):
+    """Geometric mean (the paper's aggregate everywhere)."""
+    values = list(values)
+    if not values:
+        raise CompileError("gmean of no values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_distribution(results):
+    """Group results by unit count (stages + RAs): Fig. 13's x-axis."""
+    by_units = {}
+    for result in results:
+        by_units.setdefault(result.num_units, []).append(result.speedup)
+    return {units: sorted(speeds) for units, speeds in sorted(by_units.items())}

@@ -1,0 +1,167 @@
+"""Pseudo-C code generation (the source-to-source output surface).
+
+The paper's Phloem is a source-to-source compiler whose output is compiled
+with ``gcc -O3``. In this reproduction the executable artifact is the IR
+itself (the simulator interprets it), and this module renders the same
+pipelines as readable C-style text — one function per stage, Pipette
+intrinsics (``enq``/``deq``/``enq_ctrl``/handler setup) spelled like
+Table I — so emitted code can be inspected, diffed, and documented.
+"""
+
+from ..ir.values import is_const
+
+_CMP = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "!="}
+_ARITH = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+    "mod": "%",
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+    "shl": "<<",
+    "shr": ">>",
+}
+
+
+def _reg(name):
+    return name.replace("%", "_t_").replace("@", "")
+
+
+def _operand(op):
+    if is_const(op):
+        return repr(op)
+    return _reg(op)
+
+
+def _expr(stmt):
+    op = stmt.op
+    a = [_operand(x) for x in stmt.args]
+    if op in _ARITH:
+        return "%s %s %s" % (a[0], _ARITH[op], a[1])
+    if op in _CMP:
+        return "%s %s %s" % (a[0], _CMP[op], a[1])
+    if op == "mov":
+        return a[0]
+    if op == "neg":
+        return "-%s" % a[0]
+    if op == "not":
+        return "!%s" % a[0]
+    if op == "min":
+        return "MIN(%s, %s)" % (a[0], a[1])
+    if op == "max":
+        return "MAX(%s, %s)" % (a[0], a[1])
+    if op == "select":
+        return "%s ? %s : %s" % (a[0], a[1], a[2])
+    if op == "pack2":
+        return "PACK2(%s, %s)" % (a[0], a[1])
+    if op == "fst":
+        return "FST(%s)" % a[0]
+    if op == "snd":
+        return "SND(%s)" % a[0]
+    return "%s(%s)" % (op, ", ".join(a))
+
+
+def _emit_body(body, lines, indent):
+    pad = "  " * indent
+    for stmt in body:
+        k = stmt.kind
+        if k == "assign":
+            lines.append("%s%s = %s;" % (pad, _reg(stmt.dst), _expr(stmt)))
+        elif k == "load":
+            lines.append("%s%s = %s[%s];" % (pad, _reg(stmt.dst), _reg(stmt.array), _operand(stmt.index)))
+        elif k == "store":
+            lines.append("%s%s[%s] = %s;" % (pad, _reg(stmt.array), _operand(stmt.index), _operand(stmt.value)))
+        elif k == "prefetch":
+            lines.append("%sprefetch(&%s[%s]);" % (pad, _reg(stmt.array), _operand(stmt.index)))
+        elif k == "enq":
+            lines.append("%senq(q%d, %s);" % (pad, stmt.queue, _operand(stmt.value)))
+        elif k == "enq_ctrl":
+            lines.append("%senq_ctrl(q%d, %s);" % (pad, stmt.queue, stmt.ctrl.name))
+        elif k == "enq_dist":
+            lines.append(
+                "%senq(replica[%s].q%d, %s);" % (pad, _operand(stmt.replica), stmt.queue, _operand(stmt.value))
+            )
+        elif k == "enq_ctrl_dist":
+            lines.append("%sfor_each_replica(r) enq_ctrl(r.q%d, %s);" % (pad, stmt.queue, stmt.ctrl.name))
+        elif k == "deq":
+            lines.append("%s%s = deq(q%d);" % (pad, _reg(stmt.dst), stmt.queue))
+        elif k == "peek":
+            lines.append("%s%s = peek(q%d);" % (pad, _reg(stmt.dst), stmt.queue))
+        elif k == "is_control":
+            lines.append("%s%s = is_control(%s);" % (pad, _reg(stmt.dst), _operand(stmt.src)))
+        elif k == "for":
+            lines.append(
+                "%sfor (int %s = %s; %s < %s; %s += %s) {"
+                % (pad, _reg(stmt.var), _operand(stmt.lo), _reg(stmt.var), _operand(stmt.hi), _reg(stmt.var), _operand(stmt.step))
+            )
+            _emit_body(stmt.body, lines, indent + 1)
+            lines.append("%s}" % pad)
+        elif k == "loop":
+            lines.append("%swhile (true) {" % pad)
+            _emit_body(stmt.body, lines, indent + 1)
+            lines.append("%s}" % pad)
+        elif k == "if":
+            lines.append("%sif (%s) {" % (pad, _operand(stmt.cond)))
+            _emit_body(stmt.then_body, lines, indent + 1)
+            if stmt.else_body:
+                lines.append("%s} else {" % pad)
+                _emit_body(stmt.else_body, lines, indent + 1)
+            lines.append("%s}" % pad)
+        elif k == "break":
+            lines.append("%sbreak;" % pad if stmt.levels == 1 else "%sbreak %d;" % (pad, stmt.levels))
+        elif k == "continue":
+            lines.append("%scontinue;" % pad)
+        elif k == "barrier":
+            lines.append("%sbarrier(/* %s */);" % (pad, stmt.tag))
+        elif k == "read_shared":
+            lines.append("%s%s = shared_%s;" % (pad, _reg(stmt.dst), stmt.var.replace("%", "")))
+        elif k == "write_shared":
+            lines.append("%sshared_%s = %s;" % (pad, stmt.var.replace("%", ""), _operand(stmt.value)))
+        elif k == "call":
+            call = "%s(%s)" % (stmt.func, ", ".join(_operand(a) for a in stmt.args))
+            if stmt.dst is None:
+                lines.append("%s%s;" % (pad, call))
+            else:
+                lines.append("%s%s = %s;" % (pad, _reg(stmt.dst), call))
+        elif k == "atomic_rmw":
+            text = "atomic_%s(&%s[%s], %s)" % (stmt.op, _reg(stmt.array), _operand(stmt.index), _operand(stmt.value))
+            if stmt.dst is None:
+                lines.append("%s%s;" % (pad, text))
+            else:
+                lines.append("%s%s = %s;" % (pad, _reg(stmt.dst), text))
+        elif k == "comment":
+            lines.append("%s/* %s */" % (pad, stmt.text))
+        else:
+            lines.append("%s/* <%s> */" % (pad, k))
+
+
+def emit_stage(stage, pipeline):
+    """Pseudo-C for one stage thread."""
+    lines = ["void stage%d_%s(void) {" % (stage.index, stage.name)]
+    for qid, handler in sorted(stage.handlers.items()):
+        lines.append("  setup_control_value_handler(q%d, &&handler_q%d);" % (qid, qid))
+    _emit_body(stage.body, lines, 1)
+    for qid, handler in sorted(stage.handlers.items()):
+        lines.append("handler_q%d:  /* fired when deq(q%d) would return a control value */" % (qid, qid))
+        _emit_body(handler, lines, 1)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def emit_pipeline(pipeline):
+    """Pseudo-C for a whole pipeline, including RA configuration."""
+    lines = ["/* pipeline %s: %d stages, %d RAs, %d queues */" % (
+        pipeline.name, len(pipeline.stages), len(pipeline.ras), len(pipeline.queues))]
+    lines.append("void configure(void) {")
+    for ra in pipeline.ras:
+        lines.append(
+            "  setup_reference_accelerator(q%d /* -> q%d */, %s, %s);"
+            % (ra.in_queue, ra.out_queue, ra.mode.upper(), _reg(ra.array))
+        )
+    lines.append("}")
+    for stage in pipeline.stages:
+        lines.append("")
+        lines.append(emit_stage(stage, pipeline))
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""The Phloem compiler driver.
+
+``compile_function`` turns a serial :class:`~repro.ir.Function` into a
+:class:`~repro.ir.PipelineProgram` by running the paper's passes in order:
+
+1. decouple + add queues (Sec. IV-B pass 1, always on),
+2. recompute (pass 2),
+3. use control values (pass 4),
+4. inter-stage dead code elimination (pass 6),
+5. control-value handlers (pass 5),
+6. accelerate accesses with RAs + chaining (pass 3).
+
+RA offloading runs last because chaining feeds on the streamlined queue
+protocol the control-value passes leave behind; the *pass set* is exposed
+so the Fig. 6 ablation can reproduce each intermediate configuration.
+"""
+
+from ..errors import CompileError
+from ..frontend.lowering import compile_source
+from ..ir.stmts import walk
+from ..ir.verifier import verify_pipeline
+from .accelerate import apply_reference_accelerators
+from .cleanup import cleanup_stage
+from .ctrl import apply_control_handlers, apply_control_values, apply_interstage_dce
+from .decouple import decouple_function, drop_trivial_stages
+from .recompute import apply_recompute
+
+#: Every optional pass, in application order. "queues" (pass 1) is implied
+#: by decoupling itself and always on.
+ALL_PASSES = ("recompute", "cv", "dce", "handlers", "ra")
+
+
+def _remove_dead_queues(pipeline):
+    """Delete point-to-point queues whose dequeued value is never used."""
+    changed = True
+    while changed:
+        changed = False
+        for qid in list(pipeline.queues):
+            enqs, deqs, others = [], [], []
+            for stage in pipeline.stages:
+                for stmt in stage.all_stmts():
+                    if getattr(stmt, "queue", None) != qid:
+                        continue
+                    if stmt.kind == "enq":
+                        enqs.append((stage, stmt))
+                    elif stmt.kind == "deq":
+                        deqs.append((stage, stmt))
+                    else:
+                        others.append((stage, stmt))
+            if others or len(enqs) != 1 or len(deqs) != 1:
+                continue
+            cons_stage, deq = deqs[0]
+            used = any(
+                deq.dst in stmt.uses() for stmt in cons_stage.all_stmts() if stmt is not deq
+            )
+            if used:
+                continue
+            _strip(cons_stage.body, deq)
+            _strip(enqs[0][0].body, enqs[0][1])
+            del pipeline.queues[qid]
+            changed = True
+    return pipeline
+
+
+def _strip(body, target):
+    kept = []
+    for stmt in body:
+        if stmt is target:
+            continue
+        for block in stmt.blocks():
+            _strip(block, target)
+        kept.append(stmt)
+    body[:] = kept
+
+
+def compile_function(
+    function,
+    num_stages=4,
+    passes=ALL_PASSES,
+    max_ras=4,
+    queue_capacity=24,
+    max_queues=16,
+    point_indices=None,
+):
+    """Compile a serial function into a pipeline with up to ``num_stages`` stages.
+
+    ``point_indices`` selects specific ranked decoupling points (the
+    profile-guided search drives this); by default the static cost model's
+    top choices are used.
+    """
+    if num_stages < 1:
+        raise CompileError("num_stages must be >= 1")
+    passes = tuple(passes)
+    for name in passes:
+        if name not in ALL_PASSES:
+            raise CompileError("unknown pass %r" % name)
+
+    pipeline, _points = decouple_function(
+        function, num_stages - 1, capacity=queue_capacity, point_indices=point_indices
+    )
+
+    if "recompute" in passes:
+        apply_recompute(pipeline)
+    if "cv" in passes:
+        apply_control_values(pipeline)
+    if "dce" in passes:
+        apply_interstage_dce(pipeline)
+    if "handlers" in passes:
+        apply_control_handlers(pipeline)
+    if "ra" in passes:
+        # Clean first: the chain matcher wants copy-propagated plumbing.
+        for stage in pipeline.stages:
+            cleanup_stage(stage)
+        apply_reference_accelerators(pipeline, max_ras=max_ras, capacity=queue_capacity)
+
+    _remove_dead_queues(pipeline)
+    for stage in pipeline.stages:
+        cleanup_stage(stage)
+    drop_trivial_stages(pipeline)
+    pipeline.meta["requested_stages"] = num_stages
+    pipeline.meta["pass_set"] = list(passes)
+    if function.pragmas.get("replicate"):
+        # `#pragma replicate N`: record the request; the caller materializes
+        # the replicas with core.replicate.replicate_pipeline (Sec. IV-C).
+        pipeline.meta["replicate"] = function.pragmas["replicate"]
+    verify_pipeline(pipeline, max_queues=max_queues, max_ras=max_ras)
+    return pipeline
+
+
+def compile_c(source, name=None, num_stages=4, passes=ALL_PASSES, **kwargs):
+    """Parse mini-C source and compile the (named) kernel into a pipeline."""
+    function = compile_source(source, name=name)
+    return compile_function(function, num_stages=num_stages, passes=passes, **kwargs)
+
+
+def pipeline_summary(pipeline):
+    """One-line description used by the evaluation harness logs."""
+    stmts = sum(1 for stage in pipeline.stages for _ in walk(stage.body))
+    return "%s: %d stages + %d RAs, %d queues, %d stmts" % (
+        pipeline.name,
+        len(pipeline.stages),
+        len(pipeline.ras),
+        len(pipeline.queues),
+        stmts,
+    )

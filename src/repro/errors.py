@@ -1,0 +1,63 @@
+"""Exception hierarchy for the Phloem reproduction.
+
+Every error raised by this package derives from :class:`PhloemError`, so
+callers can catch one type to handle any failure in the toolchain.
+"""
+
+
+class PhloemError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ParseError(PhloemError):
+    """Raised by the mini-C frontend on malformed source.
+
+    Carries the source line/column when known, formatted into the message.
+    """
+
+    def __init__(self, message, line=None, col=None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = "line %d:%d: %s" % (line, col if col is not None else 0, message)
+        super().__init__(message)
+
+
+class LoweringError(PhloemError):
+    """Raised when a parsed AST cannot be lowered to Phloem IR."""
+
+
+class IRVerificationError(PhloemError):
+    """Raised by the IR verifier when a program violates a structural invariant."""
+
+
+class CompileError(PhloemError):
+    """Raised by the Phloem compiler passes on an untransformable program."""
+
+
+class AliasError(CompileError):
+    """Raised when a requested decoupling would violate the aliasing rules.
+
+    Mirrors the paper's Sec. IV-A rule: reads and writes to the same data
+    structure (or through pointers that may alias) must stay in one stage.
+    """
+
+
+class SimulationError(PhloemError):
+    """Raised by the Pipette simulator on an inconsistent machine state."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when every thread in a simulation is blocked.
+
+    The message lists each thread and the queue it is blocked on, which is
+    the first thing one needs when debugging a miscompiled pipeline.
+    """
+
+
+class ResourceError(SimulationError):
+    """Raised when a pipeline exceeds the machine's resources.
+
+    For example, requesting more queues than the 16 the Pipette
+    configuration provides, or more reference accelerators than exist.
+    """

@@ -1,0 +1,21 @@
+"""Mini-C frontend: lexer, parser, pragmas, and lowering to Phloem IR."""
+
+from .inline import inline_unit
+from .lexer import Token, tokenize
+from .lowering import BUILTIN_CONSTANTS, compile_source, lower_function
+from .parser import parse
+from .pragmas import DECOUPLE_MARK, DISTRIBUTE_MARK, collect_function_pragmas, parse_pragma
+
+__all__ = [
+    "inline_unit",
+    "Token",
+    "tokenize",
+    "BUILTIN_CONSTANTS",
+    "compile_source",
+    "lower_function",
+    "parse",
+    "DECOUPLE_MARK",
+    "DISTRIBUTE_MARK",
+    "collect_function_pragmas",
+    "parse_pragma",
+]

@@ -1,0 +1,246 @@
+"""AST node definitions for the mini-C frontend.
+
+These nodes mirror the C subset the paper's kernels use. They are produced
+by :mod:`repro.frontend.parser` and consumed by
+:mod:`repro.frontend.lowering`; nothing downstream of lowering sees them.
+"""
+
+
+class Node:
+    """Base AST node; carries a source line for diagnostics."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line=None):
+        self.line = line
+
+
+# --------------------------------------------------------------------------
+# Types and declarations
+
+
+class CType:
+    """A scalar or pointer type with qualifiers."""
+
+    __slots__ = ("base", "is_pointer", "const", "restrict", "unsigned")
+
+    SIZES = {"int": 4, "long": 8, "float": 4, "double": 8, "void": 0}
+    FLOATS = frozenset(["float", "double"])
+
+    def __init__(self, base, is_pointer=False, const=False, restrict=False, unsigned=False):
+        self.base = base
+        self.is_pointer = is_pointer
+        self.const = const
+        self.restrict = restrict
+        self.unsigned = unsigned
+
+    @property
+    def elem_size(self):
+        return self.SIZES[self.base]
+
+    @property
+    def is_float(self):
+        return self.base in self.FLOATS
+
+    def __repr__(self):
+        parts = []
+        if self.const:
+            parts.append("const")
+        if self.unsigned:
+            parts.append("unsigned")
+        parts.append(self.base)
+        if self.is_pointer:
+            parts.append("*")
+        if self.restrict:
+            parts.append("restrict")
+        return " ".join(parts)
+
+
+class Param(Node):
+    __slots__ = ("type", "name")
+
+    def __init__(self, type_, name, line=None):
+        super().__init__(line)
+        self.type = type_
+        self.name = name
+
+
+class FuncDef(Node):
+    __slots__ = ("name", "ret_type", "params", "body", "pragmas")
+
+    def __init__(self, name, ret_type, params, body, pragmas, line=None):
+        super().__init__(line)
+        self.name = name
+        self.ret_type = ret_type
+        self.params = params
+        self.body = body
+        self.pragmas = pragmas
+
+
+# --------------------------------------------------------------------------
+# Statements
+
+
+class VarDecl(Node):
+    __slots__ = ("type", "name", "init")
+
+    def __init__(self, type_, name, init, line=None):
+        super().__init__(line)
+        self.type = type_
+        self.name = name
+        self.init = init
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line=None):
+        super().__init__(line)
+        self.expr = expr
+
+
+class IfStmt(Node):
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond, then_body, else_body, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class WhileStmt(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class ForStmt(Node):
+    __slots__ = ("init", "cond", "post", "body")
+
+    def __init__(self, init, cond, post, body, line=None):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.post = post
+        self.body = body
+
+
+class BreakStmt(Node):
+    __slots__ = ()
+
+
+class ContinueStmt(Node):
+    __slots__ = ()
+
+
+class ReturnStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line=None):
+        super().__init__(line)
+        self.expr = expr
+
+
+class PragmaStmt(Node):
+    """A ``#pragma`` appearing inside a function body (e.g. ``decouple``)."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text, line=None):
+        super().__init__(line)
+        self.text = text
+
+
+# --------------------------------------------------------------------------
+# Expressions
+
+
+class Name(Node):
+    __slots__ = ("ident",)
+
+    def __init__(self, ident, line=None):
+        super().__init__(line)
+        self.ident = ident
+
+
+class Number(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = value
+
+
+class Unary(Node):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, line=None):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Node):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op, lhs, rhs, line=None):
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Ternary(Node):
+    __slots__ = ("cond", "then_expr", "else_expr")
+
+    def __init__(self, cond, then_expr, else_expr, line=None):
+        super().__init__(line)
+        self.cond = cond
+        self.then_expr = then_expr
+        self.else_expr = else_expr
+
+
+class Assign(Node):
+    """``target op= value``; ``op`` is None for plain assignment."""
+
+    __slots__ = ("target", "op", "value")
+
+    def __init__(self, target, op, value, line=None):
+        super().__init__(line)
+        self.target = target
+        self.op = op
+        self.value = value
+
+
+class IncDec(Node):
+    """``x++ / x-- / ++x / --x`` (used as statements or value expressions)."""
+
+    __slots__ = ("target", "delta", "is_prefix")
+
+    def __init__(self, target, delta, is_prefix, line=None):
+        super().__init__(line)
+        self.target = target
+        self.delta = delta
+        self.is_prefix = is_prefix
+
+
+class Index(Node):
+    __slots__ = ("base", "index")
+
+    def __init__(self, base, index, line=None):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class CallExpr(Node):
+    __slots__ = ("func", "args")
+
+    def __init__(self, func, args, line=None):
+        super().__init__(line)
+        self.func = func
+        self.args = args

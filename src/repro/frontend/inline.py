@@ -1,0 +1,307 @@
+"""Function inlining (the paper's stated future work, Sec. IV-A).
+
+Phloem "currently works on a single procedure... Calls to other functions
+are supported, but Phloem does not decouple within those calls. Inlining
+could remove this limitation; we leave this to future work." This module
+implements that future work at the AST level: calls to functions *defined
+in the same translation unit* are spliced into the caller before lowering,
+so their loads and loops participate in decoupling; calls to undefined
+names remain opaque intrinsics, exactly as before.
+
+Supported callees: non-recursive functions whose body ends in at most one
+trailing ``return expr;`` (void or single-value helpers — the shape small
+C kernels factor into).
+"""
+
+from ..errors import LoweringError
+from . import cast
+
+
+def _rename_expr(expr, mapping):
+    if isinstance(expr, cast.Name):
+        return cast.Name(mapping.get(expr.ident, expr.ident), expr.line)
+    if isinstance(expr, cast.Number):
+        return expr
+    if isinstance(expr, cast.Unary):
+        return cast.Unary(expr.op, _rename_expr(expr.operand, mapping), expr.line)
+    if isinstance(expr, cast.Binary):
+        return cast.Binary(
+            expr.op, _rename_expr(expr.lhs, mapping), _rename_expr(expr.rhs, mapping), expr.line
+        )
+    if isinstance(expr, cast.Ternary):
+        return cast.Ternary(
+            _rename_expr(expr.cond, mapping),
+            _rename_expr(expr.then_expr, mapping),
+            _rename_expr(expr.else_expr, mapping),
+            expr.line,
+        )
+    if isinstance(expr, cast.Assign):
+        return cast.Assign(
+            _rename_expr(expr.target, mapping), expr.op, _rename_expr(expr.value, mapping), expr.line
+        )
+    if isinstance(expr, cast.IncDec):
+        return cast.IncDec(_rename_expr(expr.target, mapping), expr.delta, expr.is_prefix, expr.line)
+    if isinstance(expr, cast.Index):
+        return cast.Index(_rename_expr(expr.base, mapping), _rename_expr(expr.index, mapping), expr.line)
+    if isinstance(expr, cast.CallExpr):
+        return cast.CallExpr(expr.func, [_rename_expr(a, mapping) for a in expr.args], expr.line)
+    raise LoweringError("cannot rename expression %r" % type(expr).__name__)
+
+
+def _rename_stmt(stmt, mapping):
+    if isinstance(stmt, cast.VarDecl):
+        new_name = mapping.get(stmt.name, stmt.name)
+        init = _rename_expr(stmt.init, mapping) if stmt.init is not None else None
+        return cast.VarDecl(stmt.type, new_name, init, stmt.line)
+    if isinstance(stmt, cast.ExprStmt):
+        return cast.ExprStmt(_rename_expr(stmt.expr, mapping), stmt.line)
+    if isinstance(stmt, cast.IfStmt):
+        return cast.IfStmt(
+            _rename_expr(stmt.cond, mapping),
+            [_rename_stmt(s, mapping) for s in stmt.then_body],
+            [_rename_stmt(s, mapping) for s in stmt.else_body],
+            stmt.line,
+        )
+    if isinstance(stmt, cast.WhileStmt):
+        return cast.WhileStmt(
+            _rename_expr(stmt.cond, mapping),
+            [_rename_stmt(s, mapping) for s in stmt.body],
+            stmt.line,
+        )
+    if isinstance(stmt, cast.ForStmt):
+        return cast.ForStmt(
+            [_rename_stmt(s, mapping) for s in stmt.init],
+            _rename_expr(stmt.cond, mapping) if stmt.cond is not None else None,
+            _rename_expr(stmt.post, mapping) if stmt.post is not None else None,
+            [_rename_stmt(s, mapping) for s in stmt.body],
+            stmt.line,
+        )
+    if isinstance(stmt, (cast.BreakStmt, cast.ContinueStmt, cast.PragmaStmt)):
+        return stmt
+    if isinstance(stmt, cast.ReturnStmt):
+        expr = _rename_expr(stmt.expr, mapping) if stmt.expr is not None else None
+        return cast.ReturnStmt(expr, stmt.line)
+    raise LoweringError("cannot rename statement %r" % type(stmt).__name__)
+
+
+class _Inliner:
+    def __init__(self, unit):
+        self.defs = {fd.name: fd for fd in unit}
+        self.counter = 0
+
+    def _declared_names(self, funcdef):
+        names = {p.name for p in funcdef.params}
+
+        def visit(stmts):
+            for stmt in stmts:
+                if isinstance(stmt, cast.VarDecl):
+                    names.add(stmt.name)
+                elif isinstance(stmt, cast.IfStmt):
+                    visit(stmt.then_body)
+                    visit(stmt.else_body)
+                elif isinstance(stmt, (cast.WhileStmt,)):
+                    visit(stmt.body)
+                elif isinstance(stmt, cast.ForStmt):
+                    visit(stmt.init)
+                    visit(stmt.body)
+
+        visit(funcdef.body)
+        return names
+
+    def _splice_call(self, call, out, active):
+        """Inline ``call``; returns the expression replacing it (or None)."""
+        callee = self.defs[call.func]
+        if call.func in active:
+            raise LoweringError("recursive call to %r cannot be inlined" % call.func)
+        if len(call.args) != len(callee.params):
+            raise LoweringError(
+                "call to %r passes %d args for %d parameters"
+                % (call.func, len(call.args), len(callee.params))
+            )
+
+        self.counter += 1
+        suffix = "__inl%d" % self.counter
+        mapping = {}
+        prologue = []
+        for param, arg in zip(callee.params, call.args):
+            if param.type.is_pointer:
+                if not isinstance(arg, cast.Name):
+                    raise LoweringError(
+                        "pointer argument to %r must be an array name" % call.func
+                    )
+                mapping[param.name] = arg.ident  # alias straight through
+            else:
+                local = param.name + suffix
+                mapping[param.name] = local
+                prologue.append(cast.VarDecl(param.type, local, arg, call.line))
+        for name in self._declared_names(callee):
+            mapping.setdefault(name, name + suffix)
+
+        body = [_rename_stmt(s, mapping) for s in callee.body]
+
+        # Materialize the trailing return *before* recursing, so calls in
+        # the returned expression are themselves inlined.
+        result_expr = None
+        if body and isinstance(body[-1], cast.ReturnStmt):
+            ret = body.pop()
+            if ret.expr is not None:
+                ret_name = "__ret" + suffix
+                ret_type = cast.CType(callee.ret_type.base)
+                body.append(cast.VarDecl(ret_type, ret_name, ret.expr, call.line))
+                result_expr = cast.Name(ret_name, call.line)
+        if any(isinstance(s, cast.ReturnStmt) for s in _walk_all(body)):
+            raise LoweringError("%r has a non-trailing return; cannot inline" % call.func)
+        body = self._inline_body(body, active | {call.func})
+
+        out.extend(prologue)
+        out.extend(body)
+        return result_expr
+
+    def _rewrite_expr(self, expr, out, active):
+        """Hoist inlinable calls out of ``expr``; returns the new expression."""
+        if isinstance(expr, cast.CallExpr):
+            args = [self._rewrite_expr(a, out, active) for a in expr.args]
+            call = cast.CallExpr(expr.func, args, expr.line)
+            if expr.func in self.defs:
+                result = self._splice_call(call, out, active)
+                if result is None:
+                    raise LoweringError(
+                        "void function %r used as a value" % expr.func
+                    )
+                return result
+            return call
+        if isinstance(expr, cast.Unary):
+            return cast.Unary(expr.op, self._rewrite_expr(expr.operand, out, active), expr.line)
+        if isinstance(expr, cast.Binary):
+            return cast.Binary(
+                expr.op,
+                self._rewrite_expr(expr.lhs, out, active),
+                self._rewrite_expr(expr.rhs, out, active),
+                expr.line,
+            )
+        if isinstance(expr, cast.Ternary):
+            return cast.Ternary(
+                self._rewrite_expr(expr.cond, out, active),
+                self._rewrite_expr(expr.then_expr, out, active),
+                self._rewrite_expr(expr.else_expr, out, active),
+                expr.line,
+            )
+        if isinstance(expr, cast.Assign):
+            return cast.Assign(
+                self._rewrite_expr(expr.target, out, active),
+                expr.op,
+                self._rewrite_expr(expr.value, out, active),
+                expr.line,
+            )
+        if isinstance(expr, cast.Index):
+            return cast.Index(
+                self._rewrite_expr(expr.base, out, active),
+                self._rewrite_expr(expr.index, out, active),
+                expr.line,
+            )
+        if isinstance(expr, cast.IncDec):
+            return cast.IncDec(
+                self._rewrite_expr(expr.target, out, active), expr.delta, expr.is_prefix, expr.line
+            )
+        return expr
+
+    def _inline_body(self, body, active):
+        out = []
+        for stmt in body:
+            if isinstance(stmt, cast.ExprStmt) and isinstance(stmt.expr, cast.CallExpr) and stmt.expr.func in self.defs:
+                args = [self._rewrite_expr(a, out, active) for a in stmt.expr.args]
+                self._splice_call(cast.CallExpr(stmt.expr.func, args, stmt.expr.line), out, active)
+                continue
+            if isinstance(stmt, cast.ExprStmt):
+                out.append(cast.ExprStmt(self._rewrite_expr(stmt.expr, out, active), stmt.line))
+            elif isinstance(stmt, cast.VarDecl):
+                init = self._rewrite_expr(stmt.init, out, active) if stmt.init is not None else None
+                out.append(cast.VarDecl(stmt.type, stmt.name, init, stmt.line))
+            elif isinstance(stmt, cast.IfStmt):
+                cond = self._rewrite_expr(stmt.cond, out, active)
+                out.append(
+                    cast.IfStmt(
+                        cond,
+                        self._inline_body(stmt.then_body, active),
+                        self._inline_body(stmt.else_body, active),
+                        stmt.line,
+                    )
+                )
+            elif isinstance(stmt, cast.WhileStmt):
+                # Calls in while conditions would need per-iteration
+                # re-hoisting; reject rather than silently change semantics.
+                if _expr_calls_defined(stmt.cond, self.defs):
+                    raise LoweringError("cannot inline a call in a while condition")
+                out.append(cast.WhileStmt(stmt.cond, self._inline_body(stmt.body, active), stmt.line))
+            elif isinstance(stmt, cast.ForStmt):
+                if (stmt.cond is not None and _expr_calls_defined(stmt.cond, self.defs)) or (
+                    stmt.post is not None and _expr_calls_defined(stmt.post, self.defs)
+                ):
+                    raise LoweringError("cannot inline a call in a loop header")
+                out.append(
+                    cast.ForStmt(
+                        self._inline_body(stmt.init, active),
+                        stmt.cond,
+                        stmt.post,
+                        self._inline_body(stmt.body, active),
+                        stmt.line,
+                    )
+                )
+            else:
+                out.append(stmt)
+        return out
+
+    def inline(self, funcdef):
+        return cast.FuncDef(
+            funcdef.name,
+            funcdef.ret_type,
+            funcdef.params,
+            self._inline_body(funcdef.body, {funcdef.name}),
+            funcdef.pragmas,
+            funcdef.line,
+        )
+
+
+def _walk_all(body):
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, cast.IfStmt):
+            yield from _walk_all(stmt.then_body)
+            yield from _walk_all(stmt.else_body)
+        elif isinstance(stmt, cast.WhileStmt):
+            yield from _walk_all(stmt.body)
+        elif isinstance(stmt, cast.ForStmt):
+            yield from _walk_all(stmt.init)
+            yield from _walk_all(stmt.body)
+
+
+def _expr_calls_defined(expr, defs):
+    stack = [expr]
+    while stack:
+        e = stack.pop()
+        if isinstance(e, cast.CallExpr):
+            if e.func in defs:
+                return True
+            stack.extend(e.args)
+        elif isinstance(e, cast.Binary):
+            stack.extend([e.lhs, e.rhs])
+        elif isinstance(e, cast.Unary):
+            stack.append(e.operand)
+        elif isinstance(e, cast.Ternary):
+            stack.extend([e.cond, e.then_expr, e.else_expr])
+        elif isinstance(e, cast.Index):
+            stack.extend([e.base, e.index])
+        elif isinstance(e, (cast.Assign,)):
+            stack.extend([e.target, e.value])
+        elif isinstance(e, cast.IncDec):
+            stack.append(e.target)
+    return False
+
+
+def inline_unit(funcdefs, target):
+    """Inline all same-unit calls inside the FuncDef named ``target``."""
+    inliner = _Inliner(funcdefs)
+    for fd in funcdefs:
+        if fd.name == target:
+            return inliner.inline(fd)
+    raise LoweringError("no function named %r in unit" % target)

@@ -1,0 +1,211 @@
+"""Lexer for the mini-C frontend.
+
+Tokenizes the C subset Phloem's kernels use. ``#pragma`` lines become single
+PRAGMA tokens (carrying the rest of the line), matching how the paper's
+annotations (Table II) ride on top of plain C.
+"""
+
+from ..errors import ParseError
+
+KEYWORDS = frozenset(
+    [
+        "void",
+        "int",
+        "long",
+        "float",
+        "double",
+        "unsigned",
+        "const",
+        "restrict",
+        "if",
+        "else",
+        "while",
+        "for",
+        "break",
+        "continue",
+        "return",
+        "true",
+        "false",
+    ]
+)
+
+# Longest-match-first punctuation table.
+_PUNCT = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+
+class Token:
+    """A lexical token with source position for error reporting."""
+
+    __slots__ = ("kind", "value", "line", "col")
+
+    def __init__(self, kind, value, line, col):
+        self.kind = kind  # 'ident', 'number', 'punct', 'keyword', 'pragma', 'eof'
+        self.value = value
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+def tokenize(source):
+    """Tokenize ``source`` into a list of Tokens ending with an 'eof' token."""
+    tokens = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg):
+        raise ParseError(msg, line, col)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        # Comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                error("unterminated block comment")
+            for c in source[i : end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+
+        # Pragmas and other preprocessor lines.
+        if ch == "#":
+            eol = source.find("\n", i)
+            if eol < 0:
+                eol = n
+            text = source[i:eol].strip()
+            if text.startswith("#pragma"):
+                tokens.append(Token("pragma", text[len("#pragma") :].strip(), line, col))
+            elif text.startswith("#include") or text.startswith("#define"):
+                pass  # tolerated and ignored: kernels may carry headers
+            else:
+                error("unsupported preprocessor directive %r" % text)
+            i = eol
+            continue
+
+        # Numbers (decimal ints and floats; hex ints).
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                value = int(source[start:i], 16)
+            else:
+                seen_dot = False
+                seen_exp = False
+                while i < n:
+                    c = source[i]
+                    if c.isdigit():
+                        i += 1
+                    elif c == "." and not seen_dot and not seen_exp:
+                        seen_dot = True
+                        i += 1
+                    elif c in "eE" and not seen_exp and i + 1 < n and (source[i + 1].isdigit() or source[i + 1] in "+-"):
+                        seen_exp = True
+                        i += 2 if source[i + 1] in "+-" else 1
+                    else:
+                        break
+                text = source[start:i]
+                value = float(text) if (seen_dot or seen_exp) else int(text)
+            # Swallow C integer suffixes.
+            while i < n and source[i] in "uUlLfF":
+                if source[i] in "fF" and isinstance(value, int):
+                    value = float(value)
+                i += 1
+            tokens.append(Token("number", value, line, col))
+            col += i - start
+            continue
+
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            if word in KEYWORDS:
+                tokens.append(Token("keyword", word, line, col))
+            else:
+                tokens.append(Token("ident", word, line, col))
+            col += i - start
+            continue
+
+        # Punctuation.
+        for punct in _PUNCT:
+            if source.startswith(punct, i):
+                tokens.append(Token("punct", punct, line, col))
+                i += len(punct)
+                col += len(punct)
+                break
+        else:
+            error("unexpected character %r" % ch)
+
+    tokens.append(Token("eof", None, line, col))
+    return tokens

@@ -1,0 +1,64 @@
+"""Parsing of Phloem's ``#pragma`` annotations (paper Table II).
+
+============  =============================================================
+``phloem``     mark the function for automatic pipeline parallelization
+``decouple``   force a stage boundary at the next irregular access
+``replicate``  ``replicate N`` — make N copies of the pipeline
+``distribute`` send values crossing the next decoupled boundary to the
+               replica selected by bits of the value (data-centric
+               partitioning, Sec. IV-C)
+============  =============================================================
+"""
+
+from ..errors import ParseError
+
+#: Text used in an IR Comment statement to mark an in-body decouple hint.
+DECOUPLE_MARK = "pragma:decouple"
+
+#: Text marking where a ``#pragma distribute`` appeared in the body.
+DISTRIBUTE_MARK = "pragma:distribute"
+
+
+def parse_pragma(text):
+    """Parse one pragma body (the text after ``#pragma``) into (name, args).
+
+    ``args`` is a dict of ``key=value`` pairs; bare words become
+    ``{"value": word}`` entries (so ``replicate 4`` yields
+    ``("replicate", {"value": 4})``).
+    """
+    parts = text.split()
+    if not parts:
+        raise ParseError("empty #pragma")
+    name = parts[0]
+    if name not in ("phloem", "decouple", "replicate", "distribute"):
+        raise ParseError("unknown #pragma %r" % name)
+    args = {}
+    for part in parts[1:]:
+        if "=" in part:
+            key, _, raw = part.partition("=")
+        else:
+            key, raw = "value", part
+        try:
+            args[key] = int(raw)
+        except ValueError:
+            args[key] = raw
+    return name, args
+
+
+def collect_function_pragmas(pragma_texts):
+    """Fold the pragmas preceding a function into one annotation dict."""
+    annotations = {}
+    for text in pragma_texts:
+        name, args = parse_pragma(text)
+        if name == "phloem":
+            annotations["phloem"] = True
+        elif name == "replicate":
+            count = args.get("value")
+            if not isinstance(count, int) or count < 1:
+                raise ParseError("#pragma replicate requires a positive count")
+            annotations["replicate"] = count
+        elif name == "distribute":
+            annotations["distribute"] = args
+        else:
+            raise ParseError("#pragma %s is only valid inside a function body" % name)
+    return annotations

@@ -1,0 +1,121 @@
+"""Operation vocabulary for the Phloem IR.
+
+The IR is deliberately fine-grained (Sec. V of the paper: "a custom IR that
+represents fine-grain operations (e.g., load, add)"), so each ``Assign``
+statement performs exactly one scalar operation drawn from the tables here.
+"""
+
+#: Binary arithmetic/logic operations. Each takes two scalar operands.
+BINARY_OPS = frozenset(
+    [
+        "add",
+        "sub",
+        "mul",
+        "div",
+        "mod",
+        "and",
+        "or",
+        "xor",
+        "shl",
+        "shr",
+        "lt",
+        "le",
+        "gt",
+        "ge",
+        "eq",
+        "ne",
+        "min",
+        "max",
+        "pack2",
+    ]
+)
+
+#: Unary operations. ``mov`` is a plain register copy (used heavily by the
+#: add-queues and recompute passes when rewiring values between stages).
+#: ``fst``/``snd`` unpack a paired queue entry (see ``pack2``).
+UNARY_OPS = frozenset(["neg", "not", "mov", "fst", "snd"])
+
+#: Ternary operations. ``select(c, a, b)`` evaluates to ``a`` if ``c`` is
+#: truthy else ``b``; it lets the frontend lower simple conditional
+#: expressions without introducing control flow.
+TERNARY_OPS = frozenset(["select"])
+
+ALL_OPS = BINARY_OPS | UNARY_OPS | TERNARY_OPS
+
+#: Comparison operations; their results feed branches, so the simulator's
+#: branch predictor cares about where their inputs came from.
+COMPARE_OPS = frozenset(["lt", "le", "gt", "ge", "eq", "ne"])
+
+_PYTHON_BINARY = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: _checked_div(a, b),
+    "mod": lambda a, b: _checked_mod(a, b),
+    "and": lambda a, b: int(a) & int(b),
+    "or": lambda a, b: int(a) | int(b),
+    "xor": lambda a, b: int(a) ^ int(b),
+    "shl": lambda a, b: int(a) << int(b),
+    "shr": lambda a, b: int(a) >> int(b),
+    "lt": lambda a, b: 1 if a < b else 0,
+    "le": lambda a, b: 1 if a <= b else 0,
+    "gt": lambda a, b: 1 if a > b else 0,
+    "ge": lambda a, b: 1 if a >= b else 0,
+    "eq": lambda a, b: 1 if a == b else 0,
+    "ne": lambda a, b: 1 if a != b else 0,
+    "min": lambda a, b: a if a < b else b,
+    "max": lambda a, b: a if a > b else b,
+    # A double-width queue entry (replicated pipelines distribute value
+    # pairs atomically through one queue; hardware-wise a 128-bit entry).
+    "pack2": lambda a, b: (a, b),
+}
+
+_PYTHON_UNARY = {
+    "neg": lambda a: -a,
+    "not": lambda a: 0 if a else 1,
+    "mov": lambda a: a,
+    "fst": lambda a: a[0],
+    "snd": lambda a: a[1],
+}
+
+
+def _checked_div(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        return a / b
+    # C semantics: integer division truncates toward zero.
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _checked_mod(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        raise TypeError("mod is undefined on floats")
+    # C semantics: sign of the result follows the dividend.
+    r = abs(a) % abs(b)
+    return r if a >= 0 else -r
+
+
+def evaluate(op, args):
+    """Functionally evaluate ``op`` on concrete argument values.
+
+    This is the single source of truth for operator semantics; the
+    simulator's interpreter delegates here.
+    """
+    if op in _PYTHON_BINARY:
+        return _PYTHON_BINARY[op](args[0], args[1])
+    if op in _PYTHON_UNARY:
+        return _PYTHON_UNARY[op](args[0])
+    if op == "select":
+        return args[1] if args[0] else args[2]
+    raise ValueError("unknown op %r" % (op,))
+
+
+def arity(op):
+    """Number of operands ``op`` consumes."""
+    if op in BINARY_OPS:
+        return 2
+    if op in UNARY_OPS:
+        return 1
+    if op in TERNARY_OPS:
+        return 3
+    raise ValueError("unknown op %r" % (op,))

@@ -1,0 +1,118 @@
+"""Textual dump of Phloem IR — the reproduction's analogue of ``-emit-ir``.
+
+The printed form is for humans (tests assert on fragments of it, and the
+examples print it to show what the compiler did); it is not reparsed.
+"""
+
+from .values import is_const
+
+
+def _fmt_operand(op):
+    if is_const(op):
+        return repr(op)
+    return str(op)
+
+
+def format_stmt(stmt):
+    """One-line summary of a single statement (no nested bodies)."""
+    k = stmt.kind
+    if k == "assign":
+        return "%s = %s(%s)" % (stmt.dst, stmt.op, ", ".join(_fmt_operand(a) for a in stmt.args))
+    if k == "load":
+        return "%s = load %s[%s]" % (stmt.dst, stmt.array, _fmt_operand(stmt.index))
+    if k == "store":
+        return "store %s[%s] = %s" % (stmt.array, _fmt_operand(stmt.index), _fmt_operand(stmt.value))
+    if k == "prefetch":
+        return "prefetch %s[%s]" % (stmt.array, _fmt_operand(stmt.index))
+    if k == "enq":
+        return "enq(q%d, %s)" % (stmt.queue, _fmt_operand(stmt.value))
+    if k == "enq_ctrl":
+        return "enq_ctrl(q%d, %s)" % (stmt.queue, stmt.ctrl.name)
+    if k == "deq":
+        return "%s = deq(q%d)" % (stmt.dst, stmt.queue)
+    if k == "peek":
+        return "%s = peek(q%d)" % (stmt.dst, stmt.queue)
+    if k == "is_control":
+        return "%s = is_control(%s)" % (stmt.dst, _fmt_operand(stmt.src))
+    if k == "for":
+        return "for %s in [%s, %s) step %s" % (
+            stmt.var,
+            _fmt_operand(stmt.lo),
+            _fmt_operand(stmt.hi),
+            _fmt_operand(stmt.step),
+        )
+    if k == "loop":
+        return "loop"
+    if k == "if":
+        return "if %s" % _fmt_operand(stmt.cond)
+    if k == "break":
+        return "break" if stmt.levels == 1 else "break %d" % stmt.levels
+    if k == "continue":
+        return "continue"
+    if k == "barrier":
+        return "barrier(%s)" % stmt.tag
+    if k == "read_shared":
+        return "%s = shared[%s]" % (stmt.dst, stmt.var)
+    if k == "write_shared":
+        return "shared[%s] = %s" % (stmt.var, _fmt_operand(stmt.value))
+    if k == "atomic_rmw":
+        text = "atomic_%s %s[%s], %s" % (stmt.op, stmt.array, _fmt_operand(stmt.index), _fmt_operand(stmt.value))
+        return text if stmt.dst is None else "%s = %s" % (stmt.dst, text)
+    if k == "enq_dist":
+        return "enq_dist(q%d@%s, %s)" % (stmt.queue, _fmt_operand(stmt.replica), _fmt_operand(stmt.value))
+    if k == "enq_ctrl_dist":
+        return "enq_ctrl_dist(q%d@*, %s)" % (stmt.queue, stmt.ctrl.name)
+    if k == "call":
+        call = "%s(%s)" % (stmt.func, ", ".join(_fmt_operand(a) for a in stmt.args))
+        return call if stmt.dst is None else "%s = %s" % (stmt.dst, call)
+    if k == "comment":
+        return "# %s" % stmt.text
+    return "<%s>" % k
+
+
+def format_body(body, indent=0):
+    """Multi-line dump of a statement list."""
+    lines = []
+    pad = "  " * indent
+    for stmt in body:
+        lines.append(pad + format_stmt(stmt))
+        if stmt.kind == "if":
+            lines.append(format_body(stmt.then_body, indent + 1))
+            if stmt.else_body:
+                lines.append(pad + "else")
+                lines.append(format_body(stmt.else_body, indent + 1))
+        elif stmt.kind in ("for", "loop"):
+            lines.append(format_body(stmt.body, indent + 1))
+    return "\n".join(line for line in lines if line)
+
+
+def format_function(function):
+    """Multi-line dump of a serial Function (header + body)."""
+    header = "func %s(%s) arrays(%s)" % (
+        function.name,
+        ", ".join(function.scalar_params),
+        ", ".join(sorted(function.arrays)),
+    )
+    return header + "\n" + format_body(function.body, 1)
+
+
+def format_stage(stage):
+    """Multi-line dump of one stage, including its handlers."""
+    lines = ["stage %d: %s" % (stage.index, stage.name)]
+    lines.append(format_body(stage.body, 1))
+    for qid in sorted(stage.handlers):
+        lines.append("  handler(q%d):" % qid)
+        lines.append(format_body(stage.handlers[qid], 2))
+    return "\n".join(lines)
+
+
+def format_pipeline(pipeline):
+    """Multi-line dump of a whole pipeline (queues, RAs, stages)."""
+    lines = ["pipeline %s" % pipeline.name]
+    for q in sorted(pipeline.queues.values(), key=lambda q: q.qid):
+        lines.append("  " + repr(q))
+    for ra in pipeline.ras:
+        lines.append("  " + repr(ra))
+    for stage in pipeline.stages:
+        lines.append(format_stage(stage))
+    return "\n".join(lines)

@@ -1,0 +1,496 @@
+"""Statement nodes of the Phloem IR.
+
+The IR is a *region tree*: a stage body is a list of statements, and the
+control-flow statements (``For``, ``Loop``, ``If``) own nested statement
+lists. Phloem's passes manipulate this tree directly — decoupling slices it,
+the queue passes splice ``Enq``/``Deq`` nodes into it, and the control-value
+passes restructure its loops.
+
+Every node knows its ``uses()`` (registers read), ``defs()`` (registers
+written), sub-``blocks()``, and how to ``clone()`` itself, which is all the
+passes need to stay simple.
+"""
+
+from . import ops
+from .values import is_reg
+
+
+def _clone_body(body):
+    return [s.clone() for s in body]
+
+
+class Stmt:
+    """Base class for all IR statements."""
+
+    kind = "stmt"
+
+    def uses(self):
+        """Registers this statement reads."""
+        return ()
+
+    def defs(self):
+        """Registers this statement writes."""
+        return ()
+
+    def blocks(self):
+        """Nested statement lists owned by this statement."""
+        return ()
+
+    def clone(self):
+        raise NotImplementedError
+
+    def __repr__(self):
+        from .printer import format_stmt
+
+        return format_stmt(self)
+
+
+class Assign(Stmt):
+    """``dst = op(args...)`` — one fine-grain scalar operation."""
+
+    kind = "assign"
+    __slots__ = ("dst", "op", "args")
+
+    def __init__(self, dst, op, args):
+        if op not in ops.ALL_OPS:
+            raise ValueError("unknown op %r" % (op,))
+        if len(args) != ops.arity(op):
+            raise ValueError("op %r expects %d args, got %d" % (op, ops.arity(op), len(args)))
+        self.dst = dst
+        self.op = op
+        self.args = list(args)
+
+    def uses(self):
+        return [a for a in self.args if is_reg(a)]
+
+    def defs(self):
+        return (self.dst,)
+
+    def clone(self):
+        return Assign(self.dst, self.op, list(self.args))
+
+
+class Load(Stmt):
+    """``dst = array[index]`` — the unit of irregularity the paper decouples at."""
+
+    kind = "load"
+    __slots__ = ("dst", "array", "index")
+
+    def __init__(self, dst, array, index):
+        self.dst = dst
+        self.array = array
+        self.index = index
+
+    def uses(self):
+        used = []
+        if is_reg(self.array):
+            used.append(self.array)
+        if is_reg(self.index):
+            used.append(self.index)
+        return used
+
+    def defs(self):
+        return (self.dst,)
+
+    def clone(self):
+        return Load(self.dst, self.array, self.index)
+
+
+class Store(Stmt):
+    """``array[index] = value``."""
+
+    kind = "store"
+    __slots__ = ("array", "index", "value")
+
+    def __init__(self, array, index, value):
+        self.array = array
+        self.index = index
+        self.value = value
+
+    def uses(self):
+        return [a for a in (self.array, self.index, self.value) if is_reg(a)]
+
+    def clone(self):
+        return Store(self.array, self.index, self.value)
+
+
+class Prefetch(Stmt):
+    """Issue a load for timing only; the value is discarded.
+
+    Emitted by the decoupler when the aliasing rule forbids forwarding a
+    loaded value across stages (paper Sec. IV-A: "Phloem may still
+    *prefetch* data in this case").
+    """
+
+    kind = "prefetch"
+    __slots__ = ("array", "index")
+
+    def __init__(self, array, index):
+        self.array = array
+        self.index = index
+
+    def uses(self):
+        return [a for a in (self.array, self.index) if is_reg(a)]
+
+    def clone(self):
+        return Prefetch(self.array, self.index)
+
+
+class Enq(Stmt):
+    """``enq(queue, value)`` — blocking enqueue of a data value."""
+
+    kind = "enq"
+    __slots__ = ("queue", "value")
+
+    def __init__(self, queue, value):
+        self.queue = queue
+        self.value = value
+
+    def uses(self):
+        return [self.value] if is_reg(self.value) else ()
+
+    def clone(self):
+        return Enq(self.queue, self.value)
+
+
+class EnqCtrl(Stmt):
+    """``enq_ctrl(queue, cv)`` — enqueue an in-band control value."""
+
+    kind = "enq_ctrl"
+    __slots__ = ("queue", "ctrl")
+
+    def __init__(self, queue, ctrl):
+        self.queue = queue
+        self.ctrl = ctrl  # a values.Ctrl
+
+    def clone(self):
+        return EnqCtrl(self.queue, self.ctrl)
+
+
+class Deq(Stmt):
+    """``dst = deq(queue)`` — blocking dequeue."""
+
+    kind = "deq"
+    __slots__ = ("dst", "queue")
+
+    def __init__(self, dst, queue):
+        self.dst = dst
+        self.queue = queue
+
+    def defs(self):
+        return (self.dst,)
+
+    def clone(self):
+        return Deq(self.dst, self.queue)
+
+
+class Peek(Stmt):
+    """``dst = peek(queue)`` — read the head without consuming it."""
+
+    kind = "peek"
+    __slots__ = ("dst", "queue")
+
+    def __init__(self, dst, queue):
+        self.dst = dst
+        self.queue = queue
+
+    def defs(self):
+        return (self.dst,)
+
+    def clone(self):
+        return Peek(self.dst, self.queue)
+
+
+class IsControl(Stmt):
+    """``dst = is_control(src)`` — test whether a dequeued value is a control value."""
+
+    kind = "is_control"
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst, src):
+        self.dst = dst
+        self.src = src
+
+    def uses(self):
+        return [self.src] if is_reg(self.src) else ()
+
+    def defs(self):
+        return (self.dst,)
+
+    def clone(self):
+        return IsControl(self.dst, self.src)
+
+
+class For(Stmt):
+    """Counted loop: ``for (var = lo; var < hi; var += step) body``."""
+
+    kind = "for"
+    __slots__ = ("var", "lo", "hi", "step", "body")
+
+    def __init__(self, var, lo, hi, step, body):
+        self.var = var
+        self.lo = lo
+        self.hi = hi
+        self.step = step
+        self.body = body
+
+    def uses(self):
+        return [a for a in (self.lo, self.hi, self.step) if is_reg(a)]
+
+    def defs(self):
+        return (self.var,)
+
+    def blocks(self):
+        return (self.body,)
+
+    def clone(self):
+        return For(self.var, self.lo, self.hi, self.step, _clone_body(self.body))
+
+
+class Loop(Stmt):
+    """Unbounded loop (``while (true)``); exits only via ``Break``.
+
+    Pass 4 (use control values) rewrites counted consumer loops into this
+    form, exactly as the paper describes ("any loop that uses a control
+    value becomes a while (true) {...} statement").
+    """
+
+    kind = "loop"
+    __slots__ = ("body",)
+
+    def __init__(self, body):
+        self.body = body
+
+    def blocks(self):
+        return (self.body,)
+
+    def clone(self):
+        return Loop(_clone_body(self.body))
+
+
+class If(Stmt):
+    """Two-armed conditional on a register/constant condition."""
+
+    kind = "if"
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond, then_body, else_body=None):
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body if else_body is not None else []
+
+    def uses(self):
+        return [self.cond] if is_reg(self.cond) else ()
+
+    def blocks(self):
+        return (self.then_body, self.else_body)
+
+    def clone(self):
+        return If(self.cond, _clone_body(self.then_body), _clone_body(self.else_body))
+
+
+class Break(Stmt):
+    """Break out of ``levels`` enclosing loops (default 1)."""
+
+    kind = "break"
+    __slots__ = ("levels",)
+
+    def __init__(self, levels=1):
+        self.levels = levels
+
+    def clone(self):
+        return Break(self.levels)
+
+
+class Continue(Stmt):
+    """Continue the innermost enclosing loop."""
+
+    kind = "continue"
+    __slots__ = ()
+
+    def clone(self):
+        return Continue()
+
+
+class Barrier(Stmt):
+    """Synchronize all stages of a pipeline (paper Sec. IV-A, program phases)."""
+
+    kind = "barrier"
+    __slots__ = ("tag",)
+
+    def __init__(self, tag="phase"):
+        self.tag = tag
+
+    def clone(self):
+        return Barrier(self.tag)
+
+
+class ReadShared(Stmt):
+    """``dst = shared[var]`` — read a cross-stage scalar cell.
+
+    Shared cells carry phase-level scalars (e.g. the next fringe size in
+    BFS). They are only coherent across a ``Barrier``; the verifier enforces
+    that the writer and readers are separated by one.
+    """
+
+    kind = "read_shared"
+    __slots__ = ("dst", "var")
+
+    def __init__(self, dst, var):
+        self.dst = dst
+        self.var = var
+
+    def defs(self):
+        return (self.dst,)
+
+    def clone(self):
+        return ReadShared(self.dst, self.var)
+
+
+class WriteShared(Stmt):
+    """``shared[var] = value`` — write a cross-stage scalar cell."""
+
+    kind = "write_shared"
+    __slots__ = ("var", "value")
+
+    def __init__(self, var, value):
+        self.var = var
+        self.value = value
+
+    def uses(self):
+        return [self.value] if is_reg(self.value) else ()
+
+    def clone(self):
+        return WriteShared(self.var, self.value)
+
+
+class Call(Stmt):
+    """``dst = func(args...)`` — call an opaque intrinsic.
+
+    Phloem does not decouple inside calls (paper Sec. IV-A); intrinsics carry
+    a cost (in issue slots) used by the timing model, and a Python callable
+    giving their functional semantics.
+    """
+
+    kind = "call"
+    __slots__ = ("dst", "func", "args")
+
+    def __init__(self, dst, func, args):
+        self.dst = dst
+        self.func = func
+        self.args = list(args)
+
+    def uses(self):
+        return [a for a in self.args if is_reg(a)]
+
+    def defs(self):
+        return (self.dst,) if self.dst is not None else ()
+
+    def clone(self):
+        return Call(self.dst, self.func, list(self.args))
+
+
+class AtomicRMW(Stmt):
+    """``dst = atomic_op(array[index], value)`` returning the *old* value.
+
+    Used by the hand-written data-parallel baselines (Ligra/PBFS-style
+    ports) for fetch-and-add / fetch-and-min on shared arrays. Not emitted
+    by the Phloem compiler — decoupled pipelines need no atomics, which is
+    part of the paper's point.
+    """
+
+    kind = "atomic_rmw"
+    __slots__ = ("dst", "op", "array", "index", "value")
+
+    def __init__(self, dst, op, array, index, value):
+        if op not in ("add", "min", "max", "or", "and"):
+            raise ValueError("unsupported atomic op %r" % (op,))
+        self.dst = dst
+        self.op = op
+        self.array = array
+        self.index = index
+        self.value = value
+
+    def uses(self):
+        return [a for a in (self.array, self.index, self.value) if is_reg(a)]
+
+    def defs(self):
+        return (self.dst,) if self.dst is not None else ()
+
+    def clone(self):
+        return AtomicRMW(self.dst, self.op, self.array, self.index, self.value)
+
+
+class EnqDist(Stmt):
+    """``enq`` into queue ``queue`` of the replica selected by ``replica``.
+
+    The distribution primitive of replicated pipelines (paper Sec. IV-C):
+    a stage may enqueue work to the corresponding stage of *any* replica.
+    ``replica`` is an operand evaluated at runtime (e.g. bits of a vertex
+    id, per the paper's BFS example).
+    """
+
+    kind = "enq_dist"
+    __slots__ = ("queue", "value", "replica")
+
+    def __init__(self, queue, value, replica):
+        self.queue = queue
+        self.value = value
+        self.replica = replica
+
+    def uses(self):
+        return [a for a in (self.value, self.replica) if is_reg(a)]
+
+    def clone(self):
+        return EnqDist(self.queue, self.value, self.replica)
+
+
+class EnqCtrlDist(Stmt):
+    """Broadcast a control value to queue ``queue`` of *all* replicas."""
+
+    kind = "enq_ctrl_dist"
+    __slots__ = ("queue", "ctrl")
+
+    def __init__(self, queue, ctrl):
+        self.queue = queue
+        self.ctrl = ctrl
+
+    def clone(self):
+        return EnqCtrlDist(self.queue, self.ctrl)
+
+
+class Comment(Stmt):
+    """No-op annotation preserved by passes; helps debugging emitted code."""
+
+    kind = "comment"
+    __slots__ = ("text",)
+
+    def __init__(self, text):
+        self.text = text
+
+    def clone(self):
+        return Comment(self.text)
+
+
+def walk(body):
+    """Yield every statement in ``body``, pre-order, recursively."""
+    for stmt in body:
+        yield stmt
+        for block in stmt.blocks():
+            for inner in walk(block):
+                yield inner
+
+
+def walk_with_depth(body, depth=0):
+    """Yield ``(stmt, loop_depth)`` pairs; depth counts enclosing loops."""
+    for stmt in body:
+        yield stmt, depth
+        extra = 1 if stmt.kind in ("for", "loop") else 0
+        for block in stmt.blocks():
+            for pair in walk_with_depth(block, depth + extra):
+                yield pair
+
+
+def count_stmts(body):
+    """Total number of statements in the region tree."""
+    return sum(1 for _ in walk(body))

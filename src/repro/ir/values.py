@@ -1,0 +1,68 @@
+"""Operand conventions and control values for the Phloem IR.
+
+Operands are kept lightweight on purpose — passes copy and rewrite them
+constantly, so they are plain Python values rather than node objects:
+
+* a scalar register or parameter is a ``str`` (e.g. ``"v"``, ``"t12"``);
+* an array symbol is a ``str`` starting with ``"@"`` (e.g. ``"@edges"``);
+* a constant is an ``int`` or ``float``.
+
+A register may hold an *array handle* (the ``"@name"`` string of an array),
+which is how the frontend models swappable ``restrict`` pointers such as
+BFS's ``cur_fringe``/``next_fringe``.
+"""
+
+
+def is_reg(operand):
+    """True if ``operand`` names a scalar register (not an array literal)."""
+    return isinstance(operand, str) and not operand.startswith("@")
+
+
+def is_array_symbol(operand):
+    """True if ``operand`` is a literal array symbol like ``"@edges"``."""
+    return isinstance(operand, str) and operand.startswith("@")
+
+
+def is_const(operand):
+    """True if ``operand`` is a numeric literal."""
+    return isinstance(operand, (int, float)) and not isinstance(operand, bool)
+
+
+def array_name(symbol):
+    """Strip the ``@`` sigil from an array symbol."""
+    if not is_array_symbol(symbol):
+        raise ValueError("not an array symbol: %r" % (symbol,))
+    return symbol[1:]
+
+
+class Ctrl:
+    """An in-band control value (Pipette Table I: ``enq_ctrl``/``is_control``).
+
+    Control values travel through queues alongside data but can never be
+    interpreted as data. They are identified by name; ``Ctrl("NEXT")`` is the
+    end-of-edge-list marker from the paper's BFS example, and compilers are
+    free to mint their own.
+    """
+
+    __slots__ = ("name",)
+
+    #: Well-known control value names used by the compiler.
+    NEXT = "NEXT"
+    DONE = "DONE"
+
+    def __init__(self, name):
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Ctrl) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Ctrl", self.name))
+
+    def __repr__(self):
+        return "Ctrl(%s)" % self.name
+
+
+def is_control(value):
+    """Runtime test mirroring Pipette's ``is_control(v)`` primitive."""
+    return isinstance(value, Ctrl)

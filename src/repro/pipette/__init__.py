@@ -1,0 +1,48 @@
+"""The Pipette hardware substrate, simulated.
+
+An event-driven, cycle-accounting model of the paper's baseline
+architecture (Sec. III): SMT out-of-order cores with architecturally
+visible queues, reference accelerators, control values, a three-level cache
+hierarchy, and bandwidth-limited DRAM.
+"""
+
+from .config import (
+    PIPETTE_1CORE,
+    PIPETTE_4CORE,
+    SCALED_1CORE,
+    SCALED_4CORE,
+    CacheConfig,
+    MachineConfig,
+)
+from .energy import ENERGY_PJ, EnergyBreakdown, energy_of
+from .machine import Machine, RunSpec, SimResult
+from .mem import AddressMap, Cache, MemorySystem
+from .queues import HWQueue
+from .sched import BarrierSync, IssueLedger, Scheduler, SharedCells, Task
+from .stats import SimStats, ThreadStats
+
+__all__ = [
+    "PIPETTE_1CORE",
+    "PIPETTE_4CORE",
+    "SCALED_1CORE",
+    "SCALED_4CORE",
+    "CacheConfig",
+    "MachineConfig",
+    "ENERGY_PJ",
+    "EnergyBreakdown",
+    "energy_of",
+    "Machine",
+    "RunSpec",
+    "SimResult",
+    "AddressMap",
+    "Cache",
+    "MemorySystem",
+    "HWQueue",
+    "BarrierSync",
+    "IssueLedger",
+    "Scheduler",
+    "SharedCells",
+    "Task",
+    "SimStats",
+    "ThreadStats",
+]

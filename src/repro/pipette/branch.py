@@ -1,0 +1,32 @@
+"""Gshare branch predictor.
+
+The serial baselines' pain on irregular control flow (paper Sec. II-A) comes
+from data-dependent branches; a real history-based predictor reproduces that
+behaviour faithfully and deterministically — runs of positive ``A[i]`` values
+predict well, alternating values mispredict, exactly the phenomenon the
+paper's introduction describes.
+"""
+
+
+class GsharePredictor:
+    """Global-history XOR-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, table_bits=12, history_bits=12):
+        self.mask = (1 << table_bits) - 1
+        self.history_mask = (1 << history_bits) - 1
+        self.table = [2] * (1 << table_bits)  # initialized weakly-taken
+        self.history = 0
+
+    def predict_and_update(self, pc, taken):
+        """Predict the branch at ``pc``, update state, return True if correct."""
+        index = (pc ^ self.history) & self.mask
+        counter = self.table[index]
+        prediction = counter >= 2
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        else:
+            if counter > 0:
+                self.table[index] = counter - 1
+        self.history = ((self.history << 1) | (1 if taken else 0)) & self.history_mask
+        return prediction == taken

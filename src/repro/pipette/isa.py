@@ -1,0 +1,51 @@
+"""The Pipette programming interface (paper Table I), as constants and a
+functional facade.
+
+The simulator executes IR programs rather than calling these functions, but
+this module documents and exposes the ISA surface so tests can assert API
+parity with Table I, and so example code can demonstrate the primitives
+against a bare :class:`~repro.pipette.queues.HWQueue`.
+"""
+
+from ..ir.values import Ctrl
+from ..ir.values import is_control as _is_control
+
+#: Reference accelerator modes (Table I: ``setup_reference_accelerator``).
+INDIRECT = "indirect"
+SCAN = "scan"
+
+#: The ISA operations Table I lists, with their IR statement equivalents.
+ISA_SURFACE = {
+    "enq": "ir.Enq",
+    "deq": "ir.Deq",
+    "peek": "ir.Peek",
+    "setup_reference_accelerator": "ir.RASpec",
+    "enq_ctrl": "ir.EnqCtrl",
+    "is_control": "ir.IsControl",
+    "setup_control_value_handler": "ir.StageProgram.handlers",
+}
+
+
+def enq(queue, value, now=0.0):
+    """Functional ``enq(q, v)`` against a bare HWQueue (blocks = returns None)."""
+    return queue.try_enq(now, value)
+
+
+def deq(queue, now=0.0):
+    """Functional ``deq(q)``; returns (value, cycle) or None when empty."""
+    return queue.try_deq(now)
+
+
+def peek(queue, now=0.0):
+    """Functional ``peek(q)``; returns (value, cycle) or None when empty."""
+    return queue.try_peek(now)
+
+
+def enq_ctrl(queue, name, now=0.0):
+    """Functional ``enq_ctrl(q, cv)``."""
+    return queue.try_enq(now, Ctrl(name))
+
+
+def is_control(value):
+    """``is_control(v)`` — true only for in-band control values."""
+    return _is_control(value)

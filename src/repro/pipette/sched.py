@@ -1,0 +1,203 @@
+"""Discrete-event scheduler for simulated threads.
+
+Each stage thread and reference accelerator is a :class:`Task` wrapping a
+Python generator. Tasks run until they *block* (yielding control when a
+queue is full/empty or at a barrier) or finish. The scheduler always resumes
+the runnable task with the smallest local clock, which keeps timestamped
+resources (issue ledgers, DRAM controllers) consistent, and detects
+deadlocks: if no task can run and undone work remains, it reports who is
+blocked on what.
+"""
+
+import heapq
+
+from ..errors import DeadlockError
+
+#: Yielded by a task generator when it must wait for an external event.
+BLOCKED = "blocked"
+
+
+class Task:
+    """A schedulable simulated thread.
+
+    ``daemon`` tasks (reference accelerators) do not keep the simulation
+    alive: the run ends when every non-daemon task has finished.
+    """
+
+    __slots__ = ("name", "gen", "clock_ref", "runnable", "done", "daemon", "blocked_on", "_sched")
+
+    def __init__(self, name, daemon=False):
+        self.name = name
+        self.gen = None
+        self.clock_ref = None  # callable returning the task's local cycle
+        self.runnable = True
+        self.done = False
+        self.daemon = daemon
+        self.blocked_on = None
+        self._sched = None
+
+    @property
+    def time(self):
+        return self.clock_ref() if self.clock_ref is not None else 0.0
+
+    def wake(self):
+        if not self.done and not self.runnable:
+            self.runnable = True
+            self.blocked_on = None
+            if self._sched is not None:
+                self._sched._push(self)
+
+    def block(self, reason):
+        self.runnable = False
+        self.blocked_on = reason
+
+    def __repr__(self):
+        state = "done" if self.done else ("runnable" if self.runnable else "blocked:%s" % (self.blocked_on,))
+        return "Task(%s, %s)" % (self.name, state)
+
+
+class BarrierSync:
+    """Synchronizes all participating tasks (paper Sec. IV-A, program phases)."""
+
+    def __init__(self, participants, cost=30.0):
+        self.participants = participants
+        self.cost = cost
+        self.arrived = {}
+        self.generation = 0
+        self.last_release = 0.0
+
+    def arrive(self, task, now):
+        """Register arrival; returns release cycle if this arrival completes
+        the barrier, else None (the task must block)."""
+        self.arrived[task] = now
+        if len(self.arrived) < self.participants:
+            return None
+        release = max(self.arrived.values()) + self.cost
+        waiters = [t for t in self.arrived if t is not task]
+        self.arrived = {}
+        self.generation += 1
+        self.last_release = release
+        for t in waiters:
+            t.wake()
+        return release
+
+    def drop_participant(self):
+        """A participating task finished; shrink the barrier.
+
+        If the remaining arrivals now complete a generation, release them.
+        """
+        self.participants -= 1
+        if self.arrived and len(self.arrived) >= self.participants > 0:
+            release = max(self.arrived.values()) + self.cost
+            waiters = list(self.arrived)
+            self.arrived = {}
+            self.generation += 1
+            self.last_release = release
+            for t in waiters:
+                t.wake()
+            return release
+        return None
+
+
+class SharedCells:
+    """Cross-stage scalar cells, coherent only across barriers."""
+
+    def __init__(self):
+        self.values = {}
+
+    def read(self, name):
+        return self.values.get(name, 0)
+
+    def write(self, name, value):
+        self.values[name] = value
+
+
+class Scheduler:
+    """Runs tasks to completion; min-local-time scheduling with wakeups."""
+
+    def __init__(self):
+        self.tasks = []
+        self._heap = []
+        self._counter = 0
+
+    def add(self, task, gen):
+        task.gen = gen
+        task._sched = self
+        self.tasks.append(task)
+        self._push(task)
+
+    def _push(self, task):
+        self._counter += 1
+        heapq.heappush(self._heap, (task.time, self._counter, task))
+
+    def run(self, max_resumes=200_000_000):
+        pending = sum(1 for t in self.tasks if not t.daemon)
+        resumes = 0
+        while pending > 0:
+            task = self._pop_runnable()
+            if task is None:
+                self._report_deadlock()
+            resumes += 1
+            if resumes > max_resumes:
+                raise DeadlockError("simulation exceeded %d task resumes; likely livelock" % max_resumes)
+            try:
+                task.gen.send(None)
+            except StopIteration:
+                task.done = True
+                task.runnable = False
+                if not task.daemon:
+                    pending -= 1
+            else:
+                # The generator yielded BLOCKED; it has already registered
+                # itself as a waiter (queue list or barrier) before yielding.
+                if task.runnable:
+                    # Woken while blocking (enq/deq raced with wake): rerun.
+                    self._push(task)
+
+    def _pop_runnable(self):
+        while self._heap:
+            _, _, task = heapq.heappop(self._heap)
+            if task.runnable and not task.done:
+                return task
+        return None
+
+    def _report_deadlock(self):
+        blocked = [t for t in self.tasks if not t.done and not t.runnable and not t.daemon]
+        lines = ["all threads blocked:"]
+        for t in blocked:
+            lines.append("  %s waiting on %s at cycle %.0f" % (t.name, t.blocked_on, t.time))
+        raise DeadlockError("\n".join(lines))
+
+
+class IssueLedger:
+    """Per-core shared issue bandwidth: ``width`` micro-ops per cycle.
+
+    ``acquire(t)`` returns the first cycle >= t with a free slot and
+    consumes it. Threads at different local times share one ledger, which is
+    what models SMT contention among co-scheduled pipeline stages.
+    """
+
+    __slots__ = ("width", "slots", "low_water")
+
+    def __init__(self, width):
+        self.width = width
+        self.slots = {}
+        self.low_water = 0
+
+    def acquire(self, t):
+        c = int(t)
+        if c < t:
+            c += 1
+        slots = self.slots
+        width = self.width
+        while slots.get(c, 0) >= width:
+            c += 1
+        slots[c] = slots.get(c, 0) + 1
+        return float(c)
+
+    def prune(self, horizon):
+        """Drop bookkeeping for cycles below ``horizon`` (all threads past it)."""
+        if horizon - self.low_water < 4096:
+            return
+        self.slots = {c: n for c, n in self.slots.items() if c >= horizon}
+        self.low_water = int(horizon)

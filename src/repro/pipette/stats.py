@@ -1,0 +1,137 @@
+"""Simulation statistics.
+
+Collects what the paper's figures need: per-thread cycle attribution
+(Fig. 10's issue / backend-stall / queue-stall / other breakdown), memory
+hierarchy event counts (for the energy model, Fig. 11), and queue/RA
+traffic (for sanity checks and the analysis in Sec. VII-A).
+"""
+
+
+class ThreadStats:
+    """Per-thread counters; cycle components attribute *why* time passed."""
+
+    __slots__ = (
+        "name",
+        "uops",
+        "loads",
+        "stores",
+        "branches",
+        "mispredicts",
+        "queue_ops",
+        "queue_stall",
+        "mem_stall",
+        "branch_stall",
+        "barrier_stall",
+        "start_cycle",
+        "end_cycle",
+    )
+
+    def __init__(self, name):
+        self.name = name
+        self.uops = 0
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        self.mispredicts = 0
+        self.queue_ops = 0
+        self.queue_stall = 0.0
+        self.mem_stall = 0.0
+        self.branch_stall = 0.0
+        self.barrier_stall = 0.0
+        self.start_cycle = 0.0
+        self.end_cycle = 0.0
+
+    @property
+    def total_cycles(self):
+        return max(0.0, self.end_cycle - self.start_cycle)
+
+    def breakdown(self):
+        """Cycle components: (issue, backend/mem, queue, other).
+
+        The measured stalls are subtracted from total thread time; the
+        residual is time the thread was actively issuing (including issue
+        bandwidth contention), which is the paper's "issuing micro-ops".
+        """
+        total = self.total_cycles
+        mem = min(self.mem_stall, total)
+        queue = min(self.queue_stall, max(0.0, total - mem))
+        other = min(self.branch_stall + self.barrier_stall, max(0.0, total - mem - queue))
+        issue = max(0.0, total - mem - queue - other)
+        return {"issue": issue, "backend": mem, "queue": queue, "other": other}
+
+
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    __slots__ = ("name", "hits", "misses", "prefetch_fills")
+
+    def __init__(self, name):
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.prefetch_fills = 0
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+
+class SimStats:
+    """All counters from one simulation run."""
+
+    def __init__(self):
+        self.threads = []
+        self.cache_levels = {}
+        self.dram_accesses = 0
+        self.ra_loads = 0
+        self.queue_enqs = 0
+        self.queue_deqs = 0
+        self.ctrl_values = 0
+        self.wall_cycles = 0.0
+
+    def new_thread(self, name):
+        ts = ThreadStats(name)
+        self.threads.append(ts)
+        return ts
+
+    def cache(self, name):
+        if name not in self.cache_levels:
+            self.cache_levels[name] = CacheStats(name)
+        return self.cache_levels[name]
+
+    @property
+    def total_uops(self):
+        return sum(t.uops for t in self.threads)
+
+    @property
+    def total_loads(self):
+        return sum(t.loads for t in self.threads)
+
+    def cycle_breakdown(self):
+        """Aggregate Fig. 10-style breakdown, scaled to wall-clock cycles.
+
+        Sums per-thread components and rescales so the components total the
+        run's wall time, giving a per-run bar comparable across variants
+        once normalized to the serial baseline.
+        """
+        sums = {"issue": 0.0, "backend": 0.0, "queue": 0.0, "other": 0.0}
+        for t in self.threads:
+            for key, value in t.breakdown().items():
+                sums[key] += value
+        total = sum(sums.values())
+        if total <= 0:
+            return {k: 0.0 for k in sums}
+        scale = self.wall_cycles / total
+        return {k: v * scale for k, v in sums.items()}
+
+    def summary(self):
+        return {
+            "wall_cycles": self.wall_cycles,
+            "uops": self.total_uops,
+            "loads": self.total_loads,
+            "mispredicts": sum(t.mispredicts for t in self.threads),
+            "queue_stall": sum(t.queue_stall for t in self.threads),
+            "mem_stall": sum(t.mem_stall for t in self.threads),
+            "dram_accesses": self.dram_accesses,
+            "ra_loads": self.ra_loads,
+        }

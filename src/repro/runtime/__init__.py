@@ -1,0 +1,14 @@
+"""Execution runtimes over the Pipette substrate."""
+
+from .executor import RunResult, run_pipeline, run_replicated, run_serial
+from .inspect import describe_run, queue_report, stage_report
+
+__all__ = [
+    "RunResult",
+    "run_pipeline",
+    "run_replicated",
+    "run_serial",
+    "describe_run",
+    "queue_report",
+    "stage_report",
+]

@@ -1,0 +1,44 @@
+"""Mini-Taco: a tensor-algebra compiler emitting mini-C (paper Sec. IV-D)."""
+
+from .expr import TensorExpr, TensorRef, Term, parse_expression
+from .formats import COMPRESSED, DENSE, TensorDecl, csr, dense_matrix, dense_vector
+from .kernels import (
+    ALPHA,
+    BETA,
+    dense_input,
+    mtmul_kernel,
+    ref_mtmul,
+    ref_residual,
+    ref_sddmm,
+    ref_spmv,
+    residual_kernel,
+    sddmm_kernel,
+    spmv_kernel,
+)
+from .lowering import LoweredKernel, lower
+
+__all__ = [
+    "TensorExpr",
+    "TensorRef",
+    "Term",
+    "parse_expression",
+    "COMPRESSED",
+    "DENSE",
+    "TensorDecl",
+    "csr",
+    "dense_matrix",
+    "dense_vector",
+    "ALPHA",
+    "BETA",
+    "dense_input",
+    "mtmul_kernel",
+    "ref_mtmul",
+    "ref_residual",
+    "ref_sddmm",
+    "ref_spmv",
+    "residual_kernel",
+    "sddmm_kernel",
+    "spmv_kernel",
+    "LoweredKernel",
+    "lower",
+]

@@ -1,0 +1,136 @@
+"""Tensor-expression frontend of the mini-Taco compiler (paper Sec. IV-D).
+
+Parses expressions in Taco's surface syntax::
+
+    y(i) = A(i,j) * x(j)
+    y(j) = alpha * At(i,j) * x(i) + beta * z(j)
+    A(i,j) = B(i,j) * C(i,k) * D(k,j)
+    y(i) = b(i) - A(i,j) * x(j)
+
+into a sum-of-terms form: the right-hand side is a list of terms, each a
+product of scalar symbols and tensor references, with an optional sign.
+"""
+
+import re
+
+from ..errors import ParseError
+
+
+class TensorRef:
+    """One tensor access, e.g. ``A(i,j)``."""
+
+    __slots__ = ("name", "indices")
+
+    def __init__(self, name, indices):
+        self.name = name
+        self.indices = tuple(indices)
+
+    @property
+    def order(self):
+        return len(self.indices)
+
+    def __repr__(self):
+        return "%s(%s)" % (self.name, ",".join(self.indices))
+
+
+class Term:
+    """A signed product of scalars and tensor references."""
+
+    __slots__ = ("sign", "scalars", "refs")
+
+    def __init__(self, sign, scalars, refs):
+        self.sign = sign  # +1 or -1
+        self.scalars = list(scalars)
+        self.refs = list(refs)
+
+    def __repr__(self):
+        parts = self.scalars + [repr(r) for r in self.refs]
+        return ("-" if self.sign < 0 else "") + " * ".join(parts)
+
+
+class TensorExpr:
+    """A parsed assignment ``lhs = term (+|- term)*``."""
+
+    def __init__(self, lhs, terms):
+        self.lhs = lhs
+        self.terms = terms
+
+    @property
+    def index_vars(self):
+        seen = []
+        for ref in [self.lhs] + [r for t in self.terms for r in t.refs]:
+            for idx in ref.indices:
+                if idx not in seen:
+                    seen.append(idx)
+        return seen
+
+    @property
+    def contraction_vars(self):
+        """Index variables summed over (absent from the left-hand side)."""
+        return [v for v in self.index_vars if v not in self.lhs.indices]
+
+    def __repr__(self):
+        return "%r = %s" % (self.lhs, " + ".join(repr(t) for t in self.terms))
+
+
+_REF_RE = re.compile(r"^([A-Za-z_]\w*)\(([^)]*)\)$")
+_NAME_RE = re.compile(r"^[A-Za-z_]\w*$")
+
+
+def _parse_factor(text):
+    text = text.strip()
+    match = _REF_RE.match(text)
+    if match:
+        indices = [i.strip() for i in match.group(2).split(",") if i.strip()]
+        if not indices:
+            raise ParseError("tensor reference %r has no indices" % text)
+        return TensorRef(match.group(1), indices)
+    if _NAME_RE.match(text):
+        return text  # scalar symbol
+    raise ParseError("cannot parse factor %r" % text)
+
+
+def _split_terms(text):
+    """Split on top-level + and - (no parentheses in this subset)."""
+    terms = []
+    sign = 1
+    current = []
+    for ch in text:
+        if ch == "+" or ch == "-":
+            if current and current[-1] in "*(":
+                raise ParseError("unary signs are not supported in %r" % text)
+            if "".join(current).strip():
+                terms.append((sign, "".join(current)))
+            sign = 1 if ch == "+" else -1
+            current = []
+        else:
+            current.append(ch)
+    if "".join(current).strip():
+        terms.append((sign, "".join(current)))
+    if not terms:
+        raise ParseError("empty expression")
+    return terms
+
+
+def parse_expression(text):
+    """Parse ``lhs = rhs`` into a :class:`TensorExpr`."""
+    if text.count("=") != 1:
+        raise ParseError("expression must contain exactly one '='")
+    lhs_text, rhs_text = text.split("=")
+    lhs = _parse_factor(lhs_text)
+    if not isinstance(lhs, TensorRef):
+        raise ParseError("left-hand side must be a tensor reference")
+    terms = []
+    for sign, term_text in _split_terms(rhs_text):
+        scalars = []
+        refs = []
+        for factor_text in term_text.split("*"):
+            factor = _parse_factor(factor_text)
+            if isinstance(factor, TensorRef):
+                refs.append(factor)
+            else:
+                scalars.append(factor)
+        if not refs:
+            raise ParseError("term %r has no tensor reference" % term_text.strip())
+        terms.append(Term(sign, scalars, refs))
+    return TensorExpr(lhs, terms)

@@ -1,0 +1,53 @@
+"""Tensor format declarations for the mini-Taco compiler.
+
+Mirrors Taco's per-dimension format vectors: a matrix may be dense-dense
+(a plain 2-D array) or dense-sparse (CSR: dense rows, compressed columns).
+Vectors are dense. The lowering uses these to decide which loops iterate
+positions of a compressed level and which iterate a dense range.
+"""
+
+DENSE = "d"
+COMPRESSED = "s"
+
+
+class TensorDecl:
+    """Declares one tensor's order and per-dimension storage format."""
+
+    __slots__ = ("name", "formats")
+
+    def __init__(self, name, formats):
+        for f in formats:
+            if f not in (DENSE, COMPRESSED):
+                raise ValueError("unknown format %r" % f)
+        self.name = name
+        self.formats = tuple(formats)
+
+    @property
+    def order(self):
+        return len(self.formats)
+
+    @property
+    def is_csr(self):
+        return self.formats == (DENSE, COMPRESSED)
+
+    @property
+    def is_dense(self):
+        return all(f == DENSE for f in self.formats)
+
+    def __repr__(self):
+        return "TensorDecl(%s, %s)" % (self.name, "".join(self.formats))
+
+
+def csr(name):
+    """Sparse matrix: dense rows, compressed columns."""
+    return TensorDecl(name, (DENSE, COMPRESSED))
+
+
+def dense_matrix(name):
+    """Plain 2-D array (row-major)."""
+    return TensorDecl(name, (DENSE, DENSE))
+
+
+def dense_vector(name):
+    """Plain 1-D array."""
+    return TensorDecl(name, (DENSE,))

@@ -1,0 +1,109 @@
+"""The paper's Taco benchmarks (Sec. VI-B) as mini-Taco kernels.
+
+Each helper returns a :class:`~repro.taco.lowering.LoweredKernel` plus a
+pure-Python reference for validation. Inputs are
+:class:`~repro.workloads.matrices.CSRMatrix` objects and dense vectors.
+"""
+
+import random
+
+from .formats import csr, dense_matrix, dense_vector
+from .lowering import lower
+
+ALPHA = 1.5
+BETA = 0.75
+
+
+def spmv_kernel():
+    """SpMV: ``y = A x``."""
+    decls = {"y": dense_vector("y"), "A": csr("A"), "x": dense_vector("x")}
+    return lower("spmv", "y(i) = A(i,j) * x(j)", decls)
+
+
+def residual_kernel():
+    """Residual: ``y = b - A x``."""
+    decls = {
+        "y": dense_vector("y"),
+        "b": dense_vector("b"),
+        "A": csr("A"),
+        "x": dense_vector("x"),
+    }
+    return lower("residual", "y(i) = b(i) - A(i,j) * x(j)", decls)
+
+
+def mtmul_kernel():
+    """MTMul: ``y = alpha * A^T x + beta * z`` (scatter through A's rows)."""
+    decls = {
+        "y": dense_vector("y"),
+        "A": csr("A"),
+        "x": dense_vector("x"),
+        "z": dense_vector("z"),
+    }
+    return lower("mtmul", "y(j) = alpha * A(i,j) * x(i) + beta * z(j)", decls)
+
+
+def sddmm_kernel():
+    """SDDMM: ``A = B .* (C D)`` sampled at B's nonzeros."""
+    decls = {
+        "A": csr("A"),
+        "B": csr("B"),
+        "C": dense_matrix("C"),
+        "D": dense_matrix("D"),
+    }
+    return lower("sddmm", "A(i,j) = B(i,j) * C(i,k) * D(k,j)", decls)
+
+
+def dense_input(length, seed):
+    """Deterministic dense vector of small floats."""
+    rng = random.Random(seed)
+    return [round(rng.uniform(-1.0, 1.0), 3) for _ in range(length)]
+
+
+# ---------------------------------------------------------------------------
+# References
+
+
+def ref_spmv(matrix, x):
+    """Oracle for ``y = A x``."""
+    out = []
+    for i in range(matrix.nrows):
+        acc = 0.0
+        for k in range(matrix.pos[i], matrix.pos[i + 1]):
+            acc = acc + matrix.val[k] * x[matrix.crd[k]]
+        out.append(acc)
+    return out
+
+
+def ref_residual(matrix, x, b):
+    """Oracle for ``y = b - A x``."""
+    out = []
+    for i in range(matrix.nrows):
+        acc = 0.0
+        for k in range(matrix.pos[i], matrix.pos[i + 1]):
+            acc = acc + matrix.val[k] * x[matrix.crd[k]]
+        out.append(b[i] + 0.0 - acc)
+    return out
+
+
+def ref_mtmul(matrix, x, z, alpha=ALPHA, beta=BETA):
+    """Oracle for ``y = alpha A^T x + beta z``."""
+    out = [beta * zj for zj in z]
+    for i in range(matrix.nrows):
+        xi = alpha * x[i]
+        for k in range(matrix.pos[i], matrix.pos[i + 1]):
+            out[matrix.crd[k]] = out[matrix.crd[k]] + matrix.val[k] * xi
+    return out
+
+
+def ref_sddmm(bmat, cflat, kdim, dflat, ncols):
+    """Oracle for ``A = B .* (C D)`` at B's nonzeros."""
+    out = []
+    for i in range(bmat.nrows):
+        crow = i * kdim
+        for q in range(bmat.pos[i], bmat.pos[i + 1]):
+            j = bmat.crd[q]
+            acc = 0.0
+            for k in range(kdim):
+                acc = acc + cflat[crow + k] * dflat[k * ncols + j]
+            out.append(bmat.val[q] * acc)
+    return out

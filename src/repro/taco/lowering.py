@@ -1,0 +1,332 @@
+"""Mini-Taco lowering: tensor expressions -> mini-C kernels.
+
+Like Taco, the generated code iterates compressed levels with pos/crd
+loops, keeps every pointer ``restrict``-qualified, and names arrays
+``T_pos``/``T_crd``/``T_val``. Three schedule families cover the paper's
+benchmarks (and compose with scalar scaling and dense addends):
+
+* **row-reduction** — lhs indexed by the sparse operand's row var
+  (SpMV ``y(i)=A(i,j)*x(j)``, Residual ``y(i)=b(i)-A(i,j)*x(j)``);
+* **scatter** — the contraction var is the sparse operand's row var
+  (MTMul ``y(j) = alpha*A(i,j)*x(i) + beta*z(j)``);
+* **sampled dense-dense** — sparse output sampled at a sparse operand's
+  nonzeros with a dense contraction (SDDMM ``A(i,j)=B(i,j)*C(i,k)*D(k,j)``).
+
+The emitted source goes through the same mini-C frontend as hand-written
+kernels, which is the paper's point: Phloem slots in behind domain-specific
+compilers unchanged.
+"""
+
+from ..errors import CompileError
+from .expr import parse_expression
+from .formats import COMPRESSED, DENSE
+
+
+class LoweredKernel:
+    """Generated kernel: C source plus a data binder."""
+
+    def __init__(self, name, source, binder, output):
+        self.name = name
+        self.source = source
+        self._binder = binder
+        self.output = output  # name of the result array
+
+    def bind(self, data):
+        """Map tensor objects/scalars to simulator arrays and scalars.
+
+        ``data`` maps tensor names to :class:`~repro.workloads.matrices
+        .CSRMatrix` (CSR tensors), flat lists (dense), or numbers (scalars).
+        """
+        return self._binder(data)
+
+
+def _find(decls, name):
+    if name not in decls:
+        raise CompileError("tensor %r has no format declaration" % name)
+    return decls[name]
+
+
+def lower(name, expression, decls):
+    """Lower ``expression`` (text or TensorExpr) under ``decls`` to mini-C."""
+    expr = parse_expression(expression) if isinstance(expression, str) else expression
+    lhs_decl = _find(decls, expr.lhs.name)
+
+    if lhs_decl.formats == (DENSE, COMPRESSED):
+        return _lower_sampled(name, expr, decls)
+
+    sparse_refs = [
+        r
+        for t in expr.terms
+        for r in t.refs
+        if _find(decls, r.name).formats == (DENSE, COMPRESSED)
+    ]
+    if len(sparse_refs) != 1:
+        raise CompileError("exactly one CSR operand is supported (got %d)" % len(sparse_refs))
+    sparse = sparse_refs[0]
+    row_var, col_var = sparse.indices
+
+    if row_var in expr.lhs.indices:
+        return _lower_row_reduction(name, expr, decls, sparse)
+    if col_var in expr.lhs.indices and row_var in expr.contraction_vars:
+        return _lower_scatter(name, expr, decls, sparse)
+    raise CompileError("unsupported expression shape: %r" % expr)
+
+
+def _scalar_product(scalars):
+    return " * ".join(scalars) if scalars else None
+
+
+def _lower_row_reduction(name, expr, decls, sparse):
+    """SpMV-family: ``y(i) = [b(i) +/-] [alpha *] A(i,j) * x(j)``."""
+    mat = sparse.name
+    row_var, col_var = sparse.indices
+
+    sparse_term = None
+    dense_terms = []
+    for term in expr.terms:
+        if sparse in term.refs:
+            if sparse_term is not None:
+                raise CompileError("the CSR operand may appear in one term only")
+            sparse_term = term
+        else:
+            dense_terms.append(term)
+    others = [r for r in sparse_term.refs if r is not sparse]
+    if len(others) != 1 or others[0].indices != (col_var,):
+        raise CompileError("row reduction needs exactly one dense vector over %r" % col_var)
+    vec = others[0].name
+
+    scalars = sorted(
+        {s for t in expr.terms for s in t.scalars}
+    )
+    params = ["int n"] + ["double %s" % s for s in scalars]
+    args = [
+        "const int* restrict %s_pos" % mat,
+        "const int* restrict %s_crd" % mat,
+        "const double* restrict %s_val" % mat,
+        "const double* restrict %s" % vec,
+    ]
+    for term in dense_terms:
+        if len(term.refs) != 1 or term.refs[0].indices != expr.lhs.indices:
+            raise CompileError("dense addend must be a vector over the row variable")
+        args.append("const double* restrict %s" % term.refs[0].name)
+    out = expr.lhs.name
+    args.append("double* restrict %s" % out)
+
+    acc_scale = _scalar_product(sparse_term.scalars)
+    acc_expr = "acc" if acc_scale is None else "%s * acc" % acc_scale
+    if sparse_term.sign < 0:
+        acc_expr = "0.0 - (%s)" % acc_expr
+    combine = acc_expr
+    for term in dense_terms:
+        piece = term.refs[0].name + "[i]"
+        scale = _scalar_product(term.scalars)
+        if scale is not None:
+            piece = "%s * %s" % (scale, piece)
+        combine = "%s %s %s" % (piece, "+" if term.sign > 0 else "-", combine) \
+            if term is dense_terms[0] else "%s + %s" % (combine, piece)
+
+    source = """
+#pragma phloem
+void %(name)s(%(args)s, %(params)s) {
+  for (int i = 0; i < n; i++) {
+    double acc = 0.0;
+    int start = %(mat)s_pos[i];
+    int end = %(mat)s_pos[i + 1];
+    for (int q = start; q < end; q++) {
+      int k = %(mat)s_crd[q];
+      acc = acc + %(mat)s_val[q] * %(vec)s[k];
+    }
+    %(out)s[i] = %(combine)s;
+  }
+}
+""" % {
+        "name": name,
+        "args": ", ".join(args),
+        "params": ", ".join(params),
+        "mat": mat,
+        "vec": vec,
+        "out": out,
+        "combine": combine,
+    }
+
+    def binder(data):
+        matrix = data[mat]
+        arrays = {
+            "%s_pos" % mat: list(matrix.pos),
+            "%s_crd" % mat: list(matrix.crd),
+            "%s_val" % mat: list(matrix.val),
+            vec: list(data[vec]),
+            out: [0.0] * matrix.nrows,
+        }
+        for term in dense_terms:
+            dn = term.refs[0].name
+            arrays[dn] = list(data[dn])
+        scalars_env = {"n": matrix.nrows}
+        for s in scalars:
+            scalars_env[s] = float(data[s])
+        return arrays, scalars_env
+
+    return LoweredKernel(name, source, binder, out)
+
+
+def _lower_scatter(name, expr, decls, sparse):
+    """MTMul-family: ``y(j) = alpha * A(i,j) * x(i) + beta * z(j)``."""
+    mat = sparse.name
+    row_var, col_var = sparse.indices
+
+    sparse_term = None
+    dense_terms = []
+    for term in expr.terms:
+        if sparse in term.refs:
+            sparse_term = term
+        else:
+            dense_terms.append(term)
+    if sparse_term is None or sparse_term.sign < 0:
+        raise CompileError("scatter form requires a positive sparse term")
+    others = [r for r in sparse_term.refs if r is not sparse]
+    if len(others) != 1 or others[0].indices != (row_var,):
+        raise CompileError("scatter needs a dense vector over the row variable")
+    vec = others[0].name
+    out = expr.lhs.name
+
+    scalars = sorted({s for t in expr.terms for s in t.scalars})
+    args = [
+        "const int* restrict %s_pos" % mat,
+        "const int* restrict %s_crd" % mat,
+        "const double* restrict %s_val" % mat,
+        "const double* restrict %s" % vec,
+    ]
+    init = "0.0"
+    for term in dense_terms:
+        if len(term.refs) != 1 or term.refs[0].indices != expr.lhs.indices:
+            raise CompileError("dense addend must be a vector over the output variable")
+        dn = term.refs[0].name
+        args.append("const double* restrict %s" % dn)
+        piece = "%s[j]" % dn
+        scale = _scalar_product(term.scalars)
+        if scale is not None:
+            piece = "%s * %s" % (scale, piece)
+        init = piece if term.sign > 0 else "0.0 - %s" % piece
+    args.append("double* restrict %s" % out)
+    params = ["int n", "int ncols"] + ["double %s" % s for s in scalars]
+
+    contrib = "%s_val[q] * xi" % mat
+    scale = _scalar_product(sparse_term.scalars)
+    xi_expr = "%s[i]" % vec if scale is None else "%s * %s[i]" % (scale, vec)
+
+    source = """
+#pragma phloem
+void %(name)s(%(args)s, %(params)s) {
+  for (int j = 0; j < ncols; j++) {
+    %(out)s[j] = %(init)s;
+  }
+  for (int i = 0; i < n; i++) {
+    double xi = %(xi)s;
+    int start = %(mat)s_pos[i];
+    int end = %(mat)s_pos[i + 1];
+    for (int q = start; q < end; q++) {
+      int j = %(mat)s_crd[q];
+      %(out)s[j] = %(out)s[j] + %(contrib)s;
+    }
+  }
+}
+""" % {
+        "name": name,
+        "args": ", ".join(args),
+        "params": ", ".join(params),
+        "mat": mat,
+        "out": out,
+        "init": init,
+        "xi": xi_expr,
+        "contrib": contrib,
+    }
+
+    def binder(data):
+        matrix = data[mat]
+        arrays = {
+            "%s_pos" % mat: list(matrix.pos),
+            "%s_crd" % mat: list(matrix.crd),
+            "%s_val" % mat: list(matrix.val),
+            vec: list(data[vec]),
+            out: [0.0] * matrix.ncols,
+        }
+        for term in dense_terms:
+            dn = term.refs[0].name
+            arrays[dn] = list(data[dn])
+        scalars_env = {"n": matrix.nrows, "ncols": matrix.ncols}
+        for s in scalars:
+            scalars_env[s] = float(data[s])
+        return arrays, scalars_env
+
+    return LoweredKernel(name, source, binder, out)
+
+
+def _lower_sampled(name, expr, decls):
+    """SDDMM: ``A(i,j) = B(i,j) * C(i,k) * D(k,j)`` with dense C, D."""
+    if len(expr.terms) != 1:
+        raise CompileError("sampled form supports a single term")
+    term = expr.terms[0]
+    lhs = expr.lhs
+    i_var, j_var = lhs.indices
+    sparse_in = None
+    dense = []
+    for ref in term.refs:
+        fmt = _find(decls, ref.name).formats
+        if fmt == (DENSE, COMPRESSED):
+            sparse_in = ref
+        else:
+            dense.append(ref)
+    if sparse_in is None or sparse_in.indices != (i_var, j_var) or len(dense) != 2:
+        raise CompileError("sampled form needs B(i,j) sparse and two dense matrices")
+    (k_var,) = expr.contraction_vars
+    c_ref = next(r for r in dense if r.indices == (i_var, k_var))
+    d_ref = next(r for r in dense if r.indices == (k_var, j_var))
+    bmat, out = sparse_in.name, lhs.name
+    cmat, dmat = c_ref.name, d_ref.name
+
+    source = """
+#pragma phloem
+void %(name)s(const int* restrict %(b)s_pos, const int* restrict %(b)s_crd,
+              const double* restrict %(b)s_val, const double* restrict %(c)s,
+              const double* restrict %(d)s, double* restrict %(out)s_val,
+              int n, int kdim, int ncols) {
+  for (int i = 0; i < n; i++) {
+    int start = %(b)s_pos[i];
+    int end = %(b)s_pos[i + 1];
+    int crow = i * kdim;
+    for (int q = start; q < end; q++) {
+      int j = %(b)s_crd[q];
+      double acc = 0.0;
+      for (int k = 0; k < kdim; k++) {
+        acc = acc + %(c)s[crow + k] * %(d)s[k * ncols + j];
+      }
+      %(out)s_val[q] = %(b)s_val[q] * acc;
+    }
+  }
+}
+""" % {
+        "name": name,
+        "b": bmat,
+        "c": cmat,
+        "d": dmat,
+        "out": out,
+    }
+
+    def binder(data):
+        matrix = data[bmat]
+        cdata = data[cmat]  # (flat list, kdim)
+        ddata = data[dmat]
+        cflat, kdim = cdata
+        dflat, ncols = ddata
+        arrays = {
+            "%s_pos" % bmat: list(matrix.pos),
+            "%s_crd" % bmat: list(matrix.crd),
+            "%s_val" % bmat: list(matrix.val),
+            cmat: list(cflat),
+            dmat: list(dflat),
+            "%s_val" % out: [0.0] * matrix.nnz,
+        }
+        scalars_env = {"n": matrix.nrows, "kdim": kdim, "ncols": ncols}
+        return arrays, scalars_env
+
+    return LoweredKernel(name, source, binder, "%s_val" % out)

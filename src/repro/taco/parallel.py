@@ -1,0 +1,98 @@
+"""Data-parallel variants of Taco kernels (the Fig. 12 "Data-parallel" bars).
+
+Taco's own parallel backend stripes the outermost loop across threads; we
+reproduce that as an IR transform: each worker clone iterates
+``for (i = tid; i < n; i += nthreads)`` in every top-level loop, with a
+barrier between consecutive nests (they may touch the same arrays with
+different partitionings). Scatter outputs (MTMul's ``y[j] +=``) need
+fetch-and-add, which is exactly the instruction-count overhead the paper
+blames for data parallelism's poor showing on these kernels.
+"""
+
+from ..errors import CompileError
+from ..ir import stmts as S
+from ..ir.program import PipelineProgram, StageProgram
+
+
+def _stripe_body(body, tid, nthreads_reg):
+    """Rewrite top-level For loops to stride across workers; add barriers."""
+    out = []
+    first_loop = True
+    for stmt in body:
+        if stmt.kind == "for":
+            if not first_loop:
+                out.append(S.Barrier("dp-nest"))
+            first_loop = False
+            lo_reg = "%stripe_lo_" + stmt.var
+            out.append(S.Assign(lo_reg, "add", [stmt.lo, tid]))
+            out.append(S.For(stmt.var, lo_reg, stmt.hi, nthreads_reg, stmt.body))
+        else:
+            out.append(stmt)
+    out.append(S.Barrier("dp-end"))
+    return out
+
+
+def _atomicize(body, arrays):
+    """Rewrite ``t = load arr[i]; s = t + v; store arr[i] = s`` to atomics."""
+    index = 0
+    while index < len(body):
+        stmt = body[index]
+        for block in stmt.blocks():
+            _atomicize(block, arrays)
+        replaced = False
+        if stmt.kind == "load" and stmt.array in arrays:
+            # Scan a short window for `s = t + v; store arr[i] = s`, with
+            # value-producing statements allowed in between.
+            add_stmt = None
+            for j in range(index + 1, min(index + 8, len(body))):
+                later = body[j]
+                if later.kind == "assign" and later.op == "add" and stmt.dst in later.args:
+                    add_stmt = later
+                    add_at = j
+                elif (
+                    add_stmt is not None
+                    and later.kind == "store"
+                    and later.array == stmt.array
+                    and later.index == stmt.index
+                    and later.value == add_stmt.dst
+                ):
+                    addend = [a for a in add_stmt.args if a != stmt.dst]
+                    if len(addend) == 1:
+                        # The atomic replaces the *store* (the addend's
+                        # producers execute before it); the load and the
+                        # plain add disappear.
+                        body[j] = S.AtomicRMW(None, "add", stmt.array, stmt.index, addend[0])
+                        del body[add_at]
+                        del body[index]
+                        replaced = True
+                    break
+                elif later.kind in ("store", "load") and later.array == stmt.array:
+                    break
+        if not replaced:
+            index += 1
+        else:
+            index += 1
+
+
+def stripe_data_parallel(function, nthreads, atomic_arrays=()):
+    """Build an ``nthreads``-worker data-parallel pipeline from a serial kernel."""
+    if not function.body:
+        raise CompileError("empty kernel")
+    atomic_arrays = {("@" + a) if not a.startswith("@") else a for a in atomic_arrays}
+    stages = []
+    for tid in range(nthreads):
+        clone = [s.clone() for s in function.body]
+        if atomic_arrays:
+            _atomicize(clone, atomic_arrays)
+        striped = _stripe_body(clone, tid, "nthreads")
+        stages.append(StageProgram(tid, "worker%d" % tid, striped))
+    return PipelineProgram(
+        "%s_dp%d" % (function.name, nthreads),
+        stages,
+        [],
+        [],
+        function.arrays,
+        function.scalar_params + ["nthreads"],
+        intrinsics=function.intrinsics,
+        meta={"data_parallel": True},
+    )

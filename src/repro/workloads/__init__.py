@@ -1,0 +1,31 @@
+"""The paper's benchmarks, inputs, and baseline variants."""
+
+from . import bfs, cc, datasets, graphs, matrices, prd, radii, spmm
+from .dataflow import dataflow_variant
+from .graphs import CSRGraph, mesh3d, power_law, road_network, uniform_random
+from .matrices import CSRMatrix, random_matrix
+
+#: The five C benchmarks of Sec. VI-B, by name.
+GRAPH_BENCHMARKS = {"bfs": bfs, "cc": cc, "prd": prd, "radii": radii}
+ALL_BENCHMARKS = dict(GRAPH_BENCHMARKS, spmm=spmm)
+
+__all__ = [
+    "bfs",
+    "cc",
+    "datasets",
+    "graphs",
+    "matrices",
+    "prd",
+    "radii",
+    "spmm",
+    "dataflow_variant",
+    "CSRGraph",
+    "mesh3d",
+    "power_law",
+    "road_network",
+    "uniform_random",
+    "CSRMatrix",
+    "random_matrix",
+    "GRAPH_BENCHMARKS",
+    "ALL_BENCHMARKS",
+]

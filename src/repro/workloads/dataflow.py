@@ -1,0 +1,52 @@
+"""Dataflow-style baseline (the paper's Dynamatic experiment, Sec. IV-B).
+
+The paper mapped BFS onto a dataflow graph with Dynamatic and simulated
+dataflow firing; the result was *1.7x worse than serial* because "dataflow
+graphs propagate significant amounts of program state across stages" —
+every operation pays token/state-forwarding overhead. We reproduce that
+negative result structurally: a transform that inserts the token-matching
+micro-ops (two extra register moves per productive operation, the state a
+dataflow PE forwards with each firing) and runs the result through the same
+simulator.
+"""
+
+from ..ir import stmts as S
+from ..ir.program import serial_pipeline
+
+#: Handshake stages a value crosses between dataflow firings.
+TOKEN_OVERHEAD = 2
+
+_PRODUCTIVE = frozenset(["assign", "load", "call", "atomic_rmw"])
+
+
+def _instrument(body, counter):
+    out = []
+    for stmt in body:
+        for block in stmt.blocks():
+            block[:] = _instrument(block, counter)
+        out.append(stmt)
+        if stmt.kind in _PRODUCTIVE and stmt.defs():
+            # Each produced value is re-written through TOKEN_OVERHEAD moves
+            # *on its own dependence path*: downstream consumers see the
+            # handshake latency, which is how dataflow state propagation
+            # "ruins throughput in the same way as extra instructions in
+            # serial programs' inner loops" (Sec. IV-B).
+            dst = stmt.defs()[0]
+            for _ in range(TOKEN_OVERHEAD):
+                out.append(S.Assign(dst, "mov", [dst]))
+                counter[0] += 1
+        elif stmt.kind == "store":
+            reg = "%%df%d" % counter[0]
+            counter[0] += 1
+            out.append(S.Assign(reg, "mov", [0]))
+    return out
+
+
+def dataflow_variant(function):
+    """A single-stage pipeline modeling dataflow-style execution."""
+    work = function.clone()
+    counter = [0]
+    work.body = _instrument(work.body, counter)
+    pipeline = serial_pipeline(work, name="%s_dataflow" % function.name)
+    pipeline.meta["dataflow"] = True
+    return pipeline

@@ -1,0 +1,106 @@
+"""Named inputs: scaled-down substitutes for the paper's Tables IV and V.
+
+Each entry keeps the *statistical identity* of its namesake — degree
+distribution family, avg degree / nnz-per-row, and relative scale — at
+sizes a Python-hosted simulator completes in seconds (see DESIGN.md,
+substitutions). Training inputs are materially smaller than test inputs,
+exactly as in the paper's profile-guided flow.
+"""
+
+from functools import lru_cache
+
+from . import graphs, matrices
+
+
+class GraphInput:
+    """A named graph input (Table IV substitute)."""
+
+    def __init__(self, name, domain, builder, training=False):
+        self.name = name
+        self.domain = domain
+        self._builder = builder
+        self.training = training
+
+    @lru_cache(maxsize=None)
+    def _build_cached(self):
+        return self._builder()
+
+    def build(self):
+        return self._build_cached()
+
+    def __repr__(self):
+        return "GraphInput(%s)" % self.name
+
+
+class MatrixInput:
+    """A named matrix input (Table V substitute)."""
+
+    def __init__(self, name, domain, builder, training=False):
+        self.name = name
+        self.domain = domain
+        self._builder = builder
+        self.training = training
+
+    @lru_cache(maxsize=None)
+    def _build_cached(self):
+        return self._builder()
+
+    def build(self):
+        return self._build_cached()
+
+    def __repr__(self):
+        return "MatrixInput(%s)" % self.name
+
+
+#: Training graphs (paper: internet, USA-road-d-NY).
+TRAIN_GRAPHS = [
+    GraphInput("internet-train", "internet graph", lambda: graphs.power_law(1500, 2, seed=41), training=True),
+    GraphInput("road-ny-train", "road network", lambda: graphs.road_network(45, 35, seed=42), training=True),
+]
+
+#: Test graphs (paper: coAuthorsDBLP, hugetrace, Freescale1, as-Skitter, USA-road-d).
+TEST_GRAPHS = [
+    GraphInput("coauthors", "human collaboration", lambda: graphs.power_law(3000, 4, seed=11)),
+    GraphInput("hugetrace", "dynamic simulation", lambda: graphs.mesh3d(13, seed=12)),
+    GraphInput("freescale", "circuit simulation", lambda: graphs.uniform_random(4000, 5, seed=13)),
+    GraphInput("skitter", "internet graph", lambda: graphs.power_law(3500, 6, seed=14)),
+    GraphInput("road-usa", "road network", lambda: graphs.road_network(100, 75, seed=15)),
+]
+
+#: SpMM training matrices (paper: email-Enron, wiki-Vote).
+TRAIN_MATRICES_SPMM = [
+    MatrixInput("enron-train", "graph as matrix", lambda: matrices.random_matrix(60, 6, seed=21, pattern="powerlaw"), training=True),
+    MatrixInput("wikivote-train", "graph as matrix", lambda: matrices.random_matrix(50, 7, seed=22, pattern="uniform"), training=True),
+]
+
+#: SpMM test matrices (paper: p2p-Gnutella31, amazon0312, cage12, 2cubes, rma10).
+TEST_MATRICES_SPMM = [
+    MatrixInput("gnutella", "file sharing", lambda: matrices.random_matrix(140, 3, seed=31, pattern="uniform")),
+    MatrixInput("amazon", "graph as matrix", lambda: matrices.random_matrix(160, 8, seed=32, pattern="powerlaw")),
+    MatrixInput("cage12", "gel electrophoresis", lambda: matrices.random_matrix(120, 15, seed=33, pattern="banded")),
+    MatrixInput("2cubes", "electromagnetics", lambda: matrices.random_matrix(110, 16, seed=34, pattern="banded")),
+    MatrixInput("rma10", "fluid dynamics", lambda: matrices.random_matrix(70, 30, seed=35, pattern="banded")),
+]
+
+#: Taco test matrices (paper: scircuit, mac_econ, cop20k_A, pwtk, cant).
+TEST_MATRICES_TACO = [
+    MatrixInput("scircuit", "circuit simulation", lambda: matrices.random_matrix(3400, 6, seed=51, pattern="powerlaw")),
+    MatrixInput("mac-econ", "economics", lambda: matrices.random_matrix(4100, 6, seed=52, pattern="uniform")),
+    MatrixInput("cop20k", "particle physics", lambda: matrices.random_matrix(2400, 21, seed=53, pattern="uniform")),
+    MatrixInput("pwtk", "structural", lambda: matrices.random_matrix(2200, 40, seed=54, pattern="banded")),
+    MatrixInput("cant", "cantilever", lambda: matrices.random_matrix(1200, 50, seed=55, pattern="banded")),
+]
+
+
+def graph_by_name(name):
+    for g in TRAIN_GRAPHS + TEST_GRAPHS:
+        if g.name == name:
+            return g
+    raise KeyError(name)
+
+
+def matrix_by_name(name):
+    for m in TRAIN_MATRICES_SPMM + TEST_MATRICES_SPMM + TEST_MATRICES_TACO:
+        if m.name == name:
+            return m
+    raise KeyError(name)

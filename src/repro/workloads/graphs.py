@@ -1,0 +1,140 @@
+"""Graph substrate: CSR graphs and synthetic generators.
+
+The paper's inputs (Table IV) are real road networks, internet topologies,
+collaboration and simulation graphs. Those files are unavailable offline,
+so each generator below reproduces the *statistics that drive performance
+behaviour* — degree distribution, diameter class, and scale — for its
+domain:
+
+* ``road_network`` — near-planar grid with diagonals removed; low uniform
+  degree (~2.5-3), huge diameter. Stands in for USA-road-d.* inputs.
+* ``power_law`` — preferential-attachment; heavy-tailed degrees, tiny
+  diameter. Stands in for as-Skitter / internet / coAuthors inputs.
+* ``mesh3d`` — 3-D lattice; uniform degree ~6, large diameter. Stands in
+  for hugetrace/Freescale simulation graphs.
+* ``uniform_random`` — Erdős–Rényi-ish fixed out-degree, used for
+  miscellaneous tests.
+
+All generators are deterministic given a seed.
+"""
+
+import random
+
+
+class CSRGraph:
+    """Compressed Sparse Row graph (paper Sec. II, Fig. 1)."""
+
+    __slots__ = ("n", "nodes", "edges")
+
+    def __init__(self, n, nodes, edges):
+        if len(nodes) != n + 1:
+            raise ValueError("nodes array must have n+1 entries")
+        self.n = n
+        self.nodes = nodes  # offsets, len n+1
+        self.edges = edges  # neighbor ids, len m
+
+    @property
+    def m(self):
+        return len(self.edges)
+
+    @property
+    def avg_degree(self):
+        return self.m / self.n if self.n else 0.0
+
+    def neighbors(self, v):
+        return self.edges[self.nodes[v] : self.nodes[v + 1]]
+
+    def degree(self, v):
+        return self.nodes[v + 1] - self.nodes[v]
+
+    @classmethod
+    def from_adjacency(cls, adj):
+        nodes = [0]
+        edges = []
+        for neighbors in adj:
+            edges.extend(neighbors)
+            nodes.append(len(edges))
+        return cls(len(adj), nodes, edges)
+
+    def __repr__(self):
+        return "CSRGraph(n=%d, m=%d, deg=%.1f)" % (self.n, self.m, self.avg_degree)
+
+
+def road_network(width, height, seed=0):
+    """Grid-like road network: degree <= 4 with ~20%% of edges removed."""
+    rng = random.Random(seed)
+    n = width * height
+    adj = [[] for _ in range(n)]
+
+    def vid(x, y):
+        return y * width + x
+
+    for y in range(height):
+        for x in range(width):
+            v = vid(x, y)
+            if x + 1 < width and rng.random() > 0.2:
+                w = vid(x + 1, y)
+                adj[v].append(w)
+                adj[w].append(v)
+            if y + 1 < height and rng.random() > 0.2:
+                w = vid(x, y + 1)
+                adj[v].append(w)
+                adj[w].append(v)
+    return CSRGraph.from_adjacency(adj)
+
+
+def power_law(n, edges_per_vertex=8, seed=0):
+    """Preferential-attachment graph with heavy-tailed degrees."""
+    rng = random.Random(seed)
+    adj = [[] for _ in range(n)]
+    targets = []
+    for v in range(n):
+        batch = min(edges_per_vertex, max(1, v))
+        chosen = set()
+        for _ in range(batch):
+            if targets and rng.random() < 0.75:
+                w = targets[rng.randrange(len(targets))]
+            else:
+                w = rng.randrange(max(1, v)) if v else 0
+            if w != v:
+                chosen.add(w)
+        for w in chosen:
+            adj[v].append(w)
+            adj[w].append(v)
+            targets.append(w)
+            targets.append(v)
+    return CSRGraph.from_adjacency(adj)
+
+
+def mesh3d(side, seed=0):
+    """3-D lattice: uniform degree ~6, large diameter."""
+    n = side**3
+    adj = [[] for _ in range(n)]
+
+    def vid(x, y, z):
+        return (z * side + y) * side + x
+
+    for z in range(side):
+        for y in range(side):
+            for x in range(side):
+                v = vid(x, y, z)
+                if x + 1 < side:
+                    w = vid(x + 1, y, z)
+                    adj[v].append(w)
+                    adj[w].append(v)
+                if y + 1 < side:
+                    w = vid(x, y + 1, z)
+                    adj[v].append(w)
+                    adj[w].append(v)
+                if z + 1 < side:
+                    w = vid(x, y, z + 1)
+                    adj[v].append(w)
+                    adj[w].append(v)
+    return CSRGraph.from_adjacency(adj)
+
+
+def uniform_random(n, degree=6, seed=0):
+    """Fixed out-degree random graph."""
+    rng = random.Random(seed)
+    adj = [[rng.randrange(n) for _ in range(degree)] for _ in range(n)]
+    return CSRGraph.from_adjacency(adj)

@@ -1,0 +1,381 @@
+"""PageRank-Delta (paper Sec. VI-B).
+
+Fringe-based PageRank: only vertices whose accumulated delta exceeds a
+threshold propagate in the next phase. Each phase runs *two* loop nests —
+the scatter over the fringe and the dense apply — which exercises the
+paper's "program phases" machinery (Sec. IV-A): the nests are decoupled
+individually and synchronized with barriers between phases.
+
+Floating-point: ranks/deltas are doubles. The pipeline performs scatter
+additions in a single stage in serial order, so its results are bitwise
+equal to the serial kernel; the data-parallel variant reorders additions
+and is checked against the oracle with a tolerance.
+"""
+
+from ..frontend.lowering import compile_source
+from ..ir import (
+    ArrayDecl,
+    Break,
+    Ctrl,
+    EnqCtrl,
+    IRBuilder,
+    PipelineProgram,
+    QueueSpec,
+    RA_INDIRECT,
+    RA_SCAN,
+    RASpec,
+    StageProgram,
+)
+
+NAME = "prd"
+
+#: Damping factor and propagation threshold.
+DAMPING = 0.85
+THRESHOLD = 0.01
+
+SOURCE = """
+#pragma phloem
+void prd(const int* restrict nodes, const int* restrict edges,
+         const int* restrict degree,
+         double* restrict rank, double* restrict delta, double* restrict nghsum,
+         int* restrict fringe0, int* restrict fringe1,
+         int n, int fringe_size_init, double damping, double threshold) {
+  int* restrict cur_fringe = fringe0;
+  int* restrict next_fringe = fringe1;
+  int fringe_size = fringe_size_init;
+  while (fringe_size > 0) {
+    for (int i = 0; i < fringe_size; i++) {
+      int v = cur_fringe[i];
+      int deg = degree[v];
+      double share = delta[v] / (deg + 1);
+      int edge_start = nodes[v];
+      int edge_end = nodes[v + 1];
+      for (int e = edge_start; e < edge_end; e++) {
+        int ngh = edges[e];
+        double s = nghsum[ngh];
+        nghsum[ngh] = s + share;
+      }
+    }
+    int next_size = 0;
+    for (int u = 0; u < n; u++) {
+      double acc = nghsum[u] * damping;
+      double mag = acc;
+      if (mag < 0.0) {
+        mag = -mag;
+      }
+      if (mag > threshold) {
+        delta[u] = acc;
+        rank[u] = rank[u] + acc;
+        next_fringe[next_size] = u;
+        next_size = next_size + 1;
+      }
+      nghsum[u] = 0.0;
+    }
+    int* restrict tmp = cur_fringe;
+    cur_fringe = next_fringe;
+    next_fringe = tmp;
+    fringe_size = next_size;
+  }
+}
+"""
+
+_cache = {}
+
+
+def function():
+    if "f" not in _cache:
+        _cache["f"] = compile_source(SOURCE)
+    return _cache["f"].clone()
+
+
+def make_env(graph):
+    n = graph.n
+    degree = [graph.degree(v) for v in range(n)]
+    arrays = {
+        "nodes": list(graph.nodes),
+        "edges": list(graph.edges),
+        "degree": degree,
+        "rank": [1.0 - DAMPING] * n,
+        "delta": [1.0 - DAMPING] * n,
+        "nghsum": [0.0] * n,
+        "fringe0": list(range(n)) + [0],
+        "fringe1": [0] * (n + 1),
+    }
+    scalars = {
+        "n": n,
+        "fringe_size_init": n,
+        "damping": DAMPING,
+        "threshold": THRESHOLD,
+    }
+    return arrays, scalars
+
+
+def reference(graph):
+    """Oracle ranks: the same algorithm in pure Python (bitwise identical)."""
+    n = graph.n
+    nodes, edges = graph.nodes, graph.edges
+    degree = [graph.degree(v) for v in range(n)]
+    rank = [1.0 - DAMPING] * n
+    delta = [1.0 - DAMPING] * n
+    nghsum = [0.0] * n
+    fringe = list(range(n))
+    while fringe:
+        for v in fringe:
+            share = delta[v] / (degree[v] + 1)
+            for e in range(nodes[v], nodes[v + 1]):
+                nghsum[edges[e]] += share
+        nxt = []
+        for u in range(n):
+            acc = nghsum[u] * DAMPING
+            if abs(acc) > THRESHOLD:
+                delta[u] = acc
+                rank[u] += acc
+                nxt.append(u)
+            nghsum[u] = 0.0
+        fringe = nxt
+    return rank
+
+
+def check(arrays, graph, exact=True, tol=1e-9):
+    expected = reference(graph)
+    got = arrays["rank"]
+    if exact:
+        return got == expected
+    return all(abs(a - b) <= tol * max(1.0, abs(b)) for a, b in zip(got, expected))
+
+
+def manual_pipeline():
+    """Hand-tuned 3-stage + 2-chained-RA pipeline with a prefetch stage.
+
+    Every stage counts the per-phase vertex stream against the shared
+    fringe size, so only per-vertex NEXT markers flow through the RA chain
+    (no phase DONE). ``delta`` is read in the update stage (it is written
+    there within the phase), so only vertex ids cross stages.
+    """
+    func = function()
+    Q_RA1, Q_PAIRS, Q_NGH, Q_UPD, Q_V = 0, 1, 2, 3, 4
+
+    b = IRBuilder(temp_prefix="%m")
+    b.mov("@fringe0", dst="cur_fringe")
+    b.mov("@fringe1", dst="next_fringe")
+    b.mov("fringe_size_init", dst="fringe_size")
+    with b.loop():
+        done = b.assign("le", ["fringe_size", 0])
+        with b.if_(done):
+            b.break_()
+        with b.for_("i", 0, "fringe_size"):
+            v = b.load("cur_fringe", "i")
+            b.enq(Q_V, v)
+            b.enq(Q_RA1, v)
+            b.enq(Q_RA1, b.binop("add", v, 1))
+            b.enq_ctrl(Q_RA1, Ctrl.NEXT)
+        b.barrier("phase")
+        fs = b.read_shared("next_size")
+        b.barrier("phase-sync")
+        b.mov(fs, dst="fringe_size")
+        tmp = b.mov("cur_fringe")
+        b.mov("next_fringe", dst="cur_fringe")
+        b.mov(tmp, dst="next_fringe")
+    stage0 = StageProgram(0, "scan_fringe", b.finish())
+
+    b = IRBuilder(temp_prefix="%p")
+    b.mov("fringe_size_init", dst="fringe_size")
+    with b.loop():
+        done = b.assign("le", ["fringe_size", 0])
+        with b.if_(done):
+            b.break_()
+        with b.for_("i", 0, "fringe_size"):
+            with b.loop():
+                ngh = b.deq(Q_NGH)
+                b.prefetch("@nghsum", ngh)
+                b.enq(Q_UPD, ngh)
+        b.barrier("phase")
+        fs = b.read_shared("next_size")
+        b.barrier("phase-sync")
+        b.mov(fs, dst="fringe_size")
+    stage1 = StageProgram(
+        1,
+        "prefetch_nghsum",
+        b.finish(),
+        handlers={Q_NGH: [EnqCtrl(Q_UPD, Ctrl(Ctrl.NEXT)), Break(1)]},
+    )
+
+    b = IRBuilder(temp_prefix="%u")
+    b.mov("@fringe1", dst="next_fringe")
+    b.mov("@fringe0", dst="other")
+    b.mov("fringe_size_init", dst="fringe_size")
+    with b.loop():
+        done = b.assign("le", ["fringe_size", 0])
+        with b.if_(done):
+            b.break_()
+        with b.for_("i", 0, "fringe_size"):
+            v = b.deq(Q_V)
+            deg = b.load("@degree", v)
+            dv = b.load("@delta", v)
+            share = b.binop("div", dv, b.binop("add", deg, 1))
+            with b.loop():
+                ngh = b.deq(Q_UPD)
+                s = b.load("@nghsum", ngh)
+                b.store("@nghsum", ngh, b.binop("add", s, share))
+        b.mov(0, dst="next_size")
+        with b.for_("u", 0, "n"):
+            s = b.load("@nghsum", "u")
+            acc = b.binop("mul", s, "damping")
+            mag = b.assign("select", [b.binop("lt", acc, 0.0), b.assign("neg", [acc]), acc])
+            big = b.binop("gt", mag, "threshold")
+            with b.if_(big):
+                b.store("@delta", "u", acc)
+                r = b.load("@rank", "u")
+                b.store("@rank", "u", b.binop("add", r, acc))
+                b.store("next_fringe", "next_size", "u")
+                b.binop("add", "next_size", 1, dst="next_size")
+            b.store("@nghsum", "u", 0.0)
+        b.write_shared("next_size", "next_size")
+        b.barrier("phase")
+        fs = b.read_shared("next_size")
+        b.barrier("phase-sync")
+        b.mov(fs, dst="fringe_size")
+        tmp = b.mov("next_fringe")
+        b.mov("other", dst="next_fringe")
+        b.mov(tmp, dst="other")
+    stage2 = StageProgram(2, "update", b.finish(), handlers={Q_UPD: [Break(1)]})
+
+    queues = [
+        QueueSpec(Q_RA1, ("stage", 0), ("ra", 0), 24, "v/v+1"),
+        QueueSpec(Q_PAIRS, ("ra", 0), ("ra", 1), 24, "edge bounds"),
+        QueueSpec(Q_NGH, ("ra", 1), ("stage", 1), 24, "neighbors"),
+        QueueSpec(Q_UPD, ("stage", 1), ("stage", 2), 24, "neighbors'"),
+        QueueSpec(Q_V, ("stage", 0), ("stage", 2), 24, "vertices"),
+    ]
+    ras = [
+        RASpec(0, RA_INDIRECT, "@nodes", Q_RA1, Q_PAIRS),
+        RASpec(1, RA_SCAN, "@edges", Q_PAIRS, Q_NGH),
+    ]
+    return PipelineProgram(
+        "prd_manual",
+        [stage0, stage1, stage2],
+        queues,
+        ras,
+        func.arrays,
+        func.scalar_params,
+        shared_vars={"next_size"},
+        meta={"manual": True},
+    )
+
+
+def data_parallel(nthreads):
+    """Hand-written data-parallel PRD: atomic scatter + partitioned apply.
+
+    The scatter nest uses fetch-and-add on ``nghsum`` (the instruction-count
+    cost the paper attributes to data-parallel PRD); the apply nest is
+    statically partitioned by vertex range.
+    """
+    func = function()
+    stages = []
+    for tid in range(nthreads):
+        b = IRBuilder(temp_prefix="%d")
+        b.mov("@fringe0", dst="cur_fringe")
+        b.mov("@fringe1", dst="next_fringe")
+        b.mov("fringe_size_init", dst="total")
+        with b.loop():
+            done = b.assign("le", ["total", 0])
+            with b.if_(done):
+                b.break_()
+            with b.for_("seg", 0, "nthreads"):
+                seg_size = b.load("@sizes", "seg")
+                seg_base = b.binop("mul", "seg", "cap")
+                with b.for_("j", tid, seg_size, nthreads):
+                    idx = b.binop("add", seg_base, "j")
+                    v = b.load("cur_fringe", idx)
+                    deg = b.load("@degree", v)
+                    dv = b.load("@delta", v)
+                    share = b.binop("div", dv, b.binop("add", deg, 1))
+                    es = b.load("@nodes", v)
+                    ee = b.load("@nodes", b.binop("add", v, 1))
+                    with b.for_("e", es, ee):
+                        ngh = b.load("@edges", "e")
+                        b.atomic_add("@nghsum", ngh, share)
+            b.barrier("dp-scatter")
+            b.mov(0, dst="my_size")
+            my_base = b.binop("mul", tid, "cap")
+            lo = b.binop("mul", tid, "chunk")
+            hi0 = b.binop("add", lo, "chunk")
+            hi = b.assign("min", [hi0, "n"])
+            with b.for_("u", lo, hi):
+                s = b.load("@nghsum", "u")
+                acc = b.binop("mul", s, "damping")
+                mag = b.assign("select", [b.binop("lt", acc, 0.0), b.assign("neg", [acc]), acc])
+                big = b.binop("gt", mag, "threshold")
+                with b.if_(big):
+                    b.store("@delta", "u", acc)
+                    r = b.load("@rank", "u")
+                    b.store("@rank", "u", b.binop("add", r, acc))
+                    slot = b.binop("add", my_base, "my_size")
+                    b.store("next_fringe", slot, "u")
+                    b.binop("add", "my_size", 1, dst="my_size")
+                b.store("@nghsum", "u", 0.0)
+            b.barrier("dp-apply")
+            b.store("@sizes_next", tid, "my_size")
+            b.barrier("dp-sizes")
+            b.mov(0, dst="total")
+            with b.for_("s2", 0, "nthreads"):
+                sz = b.load("@sizes_next", "s2")
+                b.binop("add", "total", sz, dst="total")
+                b.store("@sizes", "s2", sz)
+            b.barrier("dp-sync")
+            tmp = b.mov("cur_fringe")
+            b.mov("next_fringe", dst="cur_fringe")
+            b.mov(tmp, dst="next_fringe")
+        stages.append(StageProgram(tid, "worker%d" % tid, b.finish()))
+
+    arrays = dict(func.arrays)
+    arrays["sizes"] = ArrayDecl("sizes", elem_size=4)
+    arrays["sizes_next"] = ArrayDecl("sizes_next", elem_size=4)
+    return PipelineProgram(
+        "prd_dp%d" % nthreads,
+        stages,
+        [],
+        [],
+        arrays,
+        func.scalar_params + ["nthreads", "cap", "chunk"],
+        meta={"data_parallel": True},
+    )
+
+
+def make_env_dp(graph, nthreads):
+    n = graph.n
+    cap = n + 1
+    fringe0 = [0] * (cap * nthreads)
+    sizes = [0] * nthreads
+    per = (n + nthreads - 1) // nthreads
+    v = 0
+    for t in range(nthreads):
+        count = min(per, n - v)
+        if count <= 0:
+            break
+        for k in range(count):
+            fringe0[t * cap + k] = v + k
+        sizes[t] = count
+        v += count
+    arrays = {
+        "nodes": list(graph.nodes),
+        "edges": list(graph.edges),
+        "degree": [graph.degree(u) for u in range(n)],
+        "rank": [1.0 - DAMPING] * n,
+        "delta": [1.0 - DAMPING] * n,
+        "nghsum": [0.0] * n,
+        "fringe0": fringe0,
+        "fringe1": [0] * (cap * nthreads),
+        "sizes": sizes,
+        "sizes_next": [0] * nthreads,
+    }
+    scalars = {
+        "n": n,
+        "fringe_size_init": n,
+        "damping": DAMPING,
+        "threshold": THRESHOLD,
+        "nthreads": nthreads,
+        "cap": cap,
+        "chunk": per,
+    }
+    return arrays, scalars

@@ -1,0 +1,371 @@
+"""Radii estimation (paper Sec. VI-B).
+
+Ligra-style multi-source BFS: 64 simultaneous searches share one traversal,
+each owning a bit of a 64-bit visited mask. A vertex's radius estimate is
+the last round in which its mask grew; the graph's radius estimate is the
+maximum. Compared to BFS, every neighbor visit does mask arithmetic on two
+read-write arrays, which makes the decoupling prefetch-heavy.
+"""
+
+from ..frontend.lowering import compile_source
+from ..ir import (
+    ArrayDecl,
+    Break,
+    Ctrl,
+    Deq,
+    IRBuilder,
+    PipelineProgram,
+    QueueSpec,
+    RA_INDIRECT,
+    RA_SCAN,
+    RASpec,
+    StageProgram,
+)
+
+NAME = "radii"
+
+#: Number of simultaneous searches (bits in the visited masks).
+K = 64
+
+SOURCE = """
+#pragma phloem
+void radii(const int* restrict nodes, const int* restrict edges,
+           long* restrict visited, long* restrict visited_next,
+           int* restrict radii_arr, int* restrict lastpush,
+           int* restrict fringe0, int* restrict fringe1,
+           int n, int fringe_size_init) {
+  int* restrict cur_fringe = fringe0;
+  int* restrict next_fringe = fringe1;
+  int fringe_size = fringe_size_init;
+  int round = 1;
+  while (fringe_size > 0) {
+    int next_size = 0;
+    for (int i = 0; i < fringe_size; i++) {
+      int v = cur_fringe[i];
+      long mv = visited[v];
+      int edge_start = nodes[v];
+      int edge_end = nodes[v + 1];
+      for (int e = edge_start; e < edge_end; e++) {
+        int ngh = edges[e];
+        long mn = visited_next[ngh];
+        long un = mn | mv;
+        if (un != mn) {
+          visited_next[ngh] = un;
+          if (lastpush[ngh] != round) {
+            lastpush[ngh] = round;
+            next_fringe[next_size] = ngh;
+            next_size = next_size + 1;
+          }
+        }
+      }
+    }
+    for (int j = 0; j < next_size; j++) {
+      int u = next_fringe[j];
+      visited[u] = visited_next[u];
+      radii_arr[u] = round;
+    }
+    int* restrict tmp = cur_fringe;
+    cur_fringe = next_fringe;
+    next_fringe = tmp;
+    fringe_size = next_size;
+    round = round + 1;
+  }
+}
+"""
+
+_cache = {}
+
+
+def function():
+    if "f" not in _cache:
+        _cache["f"] = compile_source(SOURCE)
+    return _cache["f"].clone()
+
+
+def sample_sources(graph, k=K):
+    """Deterministic source sample: the k highest-degree vertices."""
+    order = sorted(range(graph.n), key=lambda v: (-graph.degree(v), v))
+    return order[: min(k, graph.n)]
+
+
+def make_env(graph):
+    n = graph.n
+    sources = sample_sources(graph)
+    visited = [0] * n
+    for bit, s in enumerate(sources):
+        visited[s] = 1 << bit
+    fringe0 = [0] * (n + 1)
+    for i, s in enumerate(sources):
+        fringe0[i] = s
+    arrays = {
+        "nodes": list(graph.nodes),
+        "edges": list(graph.edges),
+        "visited": visited,
+        "visited_next": list(visited),
+        "radii_arr": [0] * n,
+        "lastpush": [0] * n,
+        "fringe0": fringe0,
+        "fringe1": [0] * (n + 1),
+    }
+    scalars = {"n": n, "fringe_size_init": len(sources)}
+    return arrays, scalars
+
+
+def reference(graph):
+    """Oracle radii via the same algorithm in Python."""
+    n = graph.n
+    nodes, edges = graph.nodes, graph.edges
+    sources = sample_sources(graph)
+    visited = [0] * n
+    for bit, s in enumerate(sources):
+        visited[s] = 1 << bit
+    visited_next = list(visited)
+    radii_arr = [0] * n
+    lastpush = [0] * n
+    fringe = list(sources)
+    rnd = 1
+    while fringe:
+        nxt = []
+        for v in fringe:
+            mv = visited[v]
+            for e in range(nodes[v], nodes[v + 1]):
+                ngh = edges[e]
+                un = visited_next[ngh] | mv
+                if un != visited_next[ngh]:
+                    visited_next[ngh] = un
+                    if lastpush[ngh] != rnd:
+                        lastpush[ngh] = rnd
+                        nxt.append(ngh)
+        for u in nxt:
+            visited[u] = visited_next[u]
+            radii_arr[u] = rnd
+        fringe = nxt
+        rnd += 1
+    return radii_arr
+
+
+def check(arrays, graph):
+    return arrays["radii_arr"] == reference(graph)
+
+
+def estimate(arrays):
+    """The headline number: the estimated graph radius."""
+    return max(arrays["radii_arr"])
+
+
+def manual_pipeline():
+    """Hand-tuned 2-stage + 2-chained-RA pipeline.
+
+    Like the paper's best Radii decoupling, this is a *short* pipeline
+    (Sec. VII-B notes Radii favors 2 stages + RAs): one scan stage drives
+    the RA chain and sends per-vertex masks; the update stage does all
+    read-write mask work.
+    """
+    func = function()
+    Q_RA1, Q_PAIRS, Q_NGH, Q_MASK = 0, 1, 2, 3
+
+    b = IRBuilder(temp_prefix="%m")
+    b.mov("@fringe0", dst="cur_fringe")
+    b.mov("@fringe1", dst="next_fringe")
+    b.mov("fringe_size_init", dst="fringe_size")
+    with b.loop():
+        done = b.assign("le", ["fringe_size", 0])
+        with b.if_(done):
+            b.break_()
+        with b.for_("i", 0, "fringe_size"):
+            v = b.load("cur_fringe", "i")
+            # Send the vertex id, not its mask: `visited` is written by the
+            # update stage within the phase, so only that stage may read it
+            # (the compiler's aliasing rule; here applied by hand).
+            b.enq(Q_MASK, v)
+            b.enq(Q_RA1, v)
+            b.enq(Q_RA1, b.binop("add", v, 1))
+            b.enq_ctrl(Q_RA1, Ctrl.NEXT)
+        b.enq_ctrl(Q_RA1, Ctrl.DONE)
+        b.enq_ctrl(Q_MASK, Ctrl.DONE)
+        b.barrier("phase")
+        fs = b.read_shared("next_size")
+        b.barrier("phase-sync")
+        b.mov(fs, dst="fringe_size")
+        tmp = b.mov("cur_fringe")
+        b.mov("next_fringe", dst="cur_fringe")
+        b.mov(tmp, dst="next_fringe")
+    stage0 = StageProgram(0, "scan_fringe", b.finish())
+
+    b = IRBuilder(temp_prefix="%u")
+    b.mov("@fringe1", dst="next_fringe")
+    b.mov("@fringe0", dst="other")
+    b.mov("fringe_size_init", dst="fringe_size")
+    b.mov(1, dst="round")
+    with b.loop():
+        done = b.assign("le", ["fringe_size", 0])
+        with b.if_(done):
+            b.break_()
+        b.mov(0, dst="next_size")
+        with b.loop():
+            v = b.deq(Q_MASK)
+            mv = b.load("@visited", v)
+            with b.loop():
+                ngh = b.deq(Q_NGH)
+                mn = b.load("@visited_next", ngh)
+                un = b.binop("or", mn, mv)
+                grew = b.binop("ne", un, mn)
+                with b.if_(grew):
+                    b.store("@visited_next", ngh, un)
+                    lp = b.load("@lastpush", ngh)
+                    fresh = b.binop("ne", lp, "round")
+                    with b.if_(fresh):
+                        b.store("@lastpush", ngh, "round")
+                        b.store("next_fringe", "next_size", ngh)
+                        b.binop("add", "next_size", 1, dst="next_size")
+        with b.for_("j", 0, "next_size"):
+            u = b.load("next_fringe", "j")
+            nv = b.load("@visited_next", u)
+            b.store("@visited", u, nv)
+            b.store("@radii_arr", u, "round")
+        b.write_shared("next_size", "next_size")
+        b.barrier("phase")
+        fs = b.read_shared("next_size")
+        b.barrier("phase-sync")
+        b.mov(fs, dst="fringe_size")
+        b.binop("add", "round", 1, dst="round")
+        tmp = b.mov("next_fringe")
+        b.mov("other", dst="next_fringe")
+        b.mov(tmp, dst="other")
+    stage1 = StageProgram(
+        1,
+        "update",
+        b.finish(),
+        handlers={Q_MASK: [Deq("%drain", Q_NGH), Break(1)], Q_NGH: [Break(1)]},
+    )
+
+    queues = [
+        QueueSpec(Q_RA1, ("stage", 0), ("ra", 0), 24, "v/v+1"),
+        QueueSpec(Q_PAIRS, ("ra", 0), ("ra", 1), 24, "edge bounds"),
+        QueueSpec(Q_NGH, ("ra", 1), ("stage", 1), 24, "neighbors"),
+        QueueSpec(Q_MASK, ("stage", 0), ("stage", 1), 24, "masks"),
+    ]
+    ras = [
+        RASpec(0, RA_INDIRECT, "@nodes", Q_RA1, Q_PAIRS),
+        RASpec(1, RA_SCAN, "@edges", Q_PAIRS, Q_NGH),
+    ]
+    return PipelineProgram(
+        "radii_manual",
+        [stage0, stage1],
+        queues,
+        ras,
+        func.arrays,
+        func.scalar_params,
+        shared_vars={"next_size"},
+        meta={"manual": True},
+    )
+
+
+def data_parallel(nthreads):
+    """Hand-written data-parallel Radii: atomic mask unions."""
+    func = function()
+    stages = []
+    for tid in range(nthreads):
+        b = IRBuilder(temp_prefix="%d")
+        b.mov("@fringe0", dst="cur_fringe")
+        b.mov("@fringe1", dst="next_fringe")
+        b.mov("fringe_size_init", dst="total")
+        b.mov(1, dst="round")
+        with b.loop():
+            done = b.assign("le", ["total", 0])
+            with b.if_(done):
+                b.break_()
+            b.mov(0, dst="my_size")
+            my_base = b.binop("mul", tid, "cap")
+            with b.for_("seg", 0, "nthreads"):
+                seg_size = b.load("@sizes", "seg")
+                seg_base = b.binop("mul", "seg", "cap")
+                with b.for_("j", tid, seg_size, nthreads):
+                    idx = b.binop("add", seg_base, "j")
+                    v = b.load("cur_fringe", idx)
+                    mv = b.load("@visited", v)
+                    es = b.load("@nodes", v)
+                    ee = b.load("@nodes", b.binop("add", v, 1))
+                    with b.for_("e", es, ee):
+                        ngh = b.load("@edges", "e")
+                        old = b.atomic_or("@visited_next", ngh, mv)
+                        un = b.binop("or", old, mv)
+                        grew = b.binop("ne", un, old)
+                        with b.if_(grew):
+                            lp = b.load("@lastpush", ngh)
+                            fresh = b.binop("ne", lp, "round")
+                            with b.if_(fresh):
+                                b.store("@lastpush", ngh, "round")
+                                slot = b.binop("add", my_base, "my_size")
+                                b.store("next_fringe", slot, ngh)
+                                b.binop("add", "my_size", 1, dst="my_size")
+            b.barrier("dp-scatter")
+            b.store("@sizes_next", tid, "my_size")
+            b.barrier("dp-sizes")
+            b.mov(0, dst="total")
+            with b.for_("s2", 0, "nthreads"):
+                sz = b.load("@sizes_next", "s2")
+                b.binop("add", "total", sz, dst="total")
+                b.store("@sizes", "s2", sz)
+            b.barrier("dp-count")
+            # Apply: each worker finalizes the vertices it pushed.
+            with b.for_("j2", 0, "my_size"):
+                slot = b.binop("add", my_base, "j2")
+                u = b.load("next_fringe", slot)
+                nv = b.load("@visited_next", u)
+                b.store("@visited", u, nv)
+                b.store("@radii_arr", u, "round")
+            b.barrier("dp-sync")
+            b.binop("add", "round", 1, dst="round")
+            tmp = b.mov("cur_fringe")
+            b.mov("next_fringe", dst="cur_fringe")
+            b.mov(tmp, dst="next_fringe")
+        stages.append(StageProgram(tid, "worker%d" % tid, b.finish()))
+
+    arrays = dict(func.arrays)
+    arrays["sizes"] = ArrayDecl("sizes", elem_size=4)
+    arrays["sizes_next"] = ArrayDecl("sizes_next", elem_size=4)
+    return PipelineProgram(
+        "radii_dp%d" % nthreads,
+        stages,
+        [],
+        [],
+        arrays,
+        func.scalar_params + ["nthreads", "cap"],
+        meta={"data_parallel": True},
+    )
+
+
+def make_env_dp(graph, nthreads):
+    n = graph.n
+    cap = n + 1
+    sources = sample_sources(graph)
+    visited = [0] * n
+    for bit, s in enumerate(sources):
+        visited[s] = 1 << bit
+    fringe0 = [0] * (cap * nthreads)
+    sizes = [0] * nthreads
+    per = (len(sources) + nthreads - 1) // nthreads
+    v = 0
+    for t in range(nthreads):
+        count = min(per, len(sources) - v)
+        if count <= 0:
+            break
+        for k in range(count):
+            fringe0[t * cap + k] = sources[v + k]
+        sizes[t] = count
+        v += count
+    arrays = {
+        "nodes": list(graph.nodes),
+        "edges": list(graph.edges),
+        "visited": visited,
+        "visited_next": list(visited),
+        "radii_arr": [0] * n,
+        "lastpush": [0] * n,
+        "fringe0": fringe0,
+        "fringe1": [0] * (cap * nthreads),
+        "sizes": sizes,
+        "sizes_next": [0] * nthreads,
+    }
+    scalars = {"n": n, "fringe_size_init": len(sources), "nthreads": nthreads, "cap": cap}
+    return arrays, scalars

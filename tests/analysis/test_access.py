@@ -1,0 +1,64 @@
+"""Access classification: the cost model's view of BFS matches Sec. V."""
+
+from repro.analysis.access import INDIRECT, SEQUENTIAL, affine_root, classify_loads
+from repro.analysis.defs import DefUse
+from repro.frontend import compile_source
+from repro.workloads import bfs
+
+
+def _by_class(function):
+    return {info.cls: info for info in classify_loads(function.body)}
+
+
+def test_bfs_classification():
+    f = compile_source(bfs.SOURCE)
+    infos = _by_class(f)
+    assert infos["cur_fringe"].kind == SEQUENTIAL
+    assert infos["@edges"].kind == SEQUENTIAL  # a scan over data-dependent bounds
+    assert infos["@edges"].indirection >= 1
+    assert infos["@nodes"].kind == INDIRECT
+    assert infos["@distances"].kind == INDIRECT
+    assert infos["@distances"].indirection >= infos["@nodes"].indirection
+
+
+def test_loop_depths_recorded():
+    f = compile_source(bfs.SOURCE)
+    infos = _by_class(f)
+    assert infos["@distances"].depth == infos["@edges"].depth
+    assert infos["@nodes"].depth < infos["@edges"].depth
+
+
+def test_affine_root_offsets():
+    src = """
+    void k(const int* restrict a, int* restrict out, int n) {
+      for (int i = 0; i < n; i++) {
+        out[i] = a[i + 1] + a[i];
+      }
+    }
+    """
+    f = compile_source(src)
+    du = DefUse(f.body)
+    loads = [s for s in f.all_stmts() if s.kind == "load"]
+    roots = sorted(affine_root(load.index, du) for load in loads)
+    assert roots == [("i", 0), ("i", 1)]
+
+
+def test_constant_index_is_sequential():
+    src = "void k(const int* restrict a, int* restrict out) { out[0] = a[7]; }"
+    infos = classify_loads(compile_source(src).body)
+    assert all(i.kind == SEQUENTIAL for i in infos if i.cls == "@a")
+
+
+def test_two_level_indirection_depth():
+    src = """
+    void k(const int* restrict a, const int* restrict b, const int* restrict c,
+           int* restrict out, int n) {
+      for (int i = 0; i < n; i++) {
+        out[i] = c[b[a[i]]];
+      }
+    }
+    """
+    infos = {i.cls: i for i in classify_loads(compile_source(src).body)}
+    assert infos["@a"].kind == SEQUENTIAL
+    assert infos["@b"].indirection == 1
+    assert infos["@c"].indirection == 2

@@ -1,0 +1,46 @@
+"""Decoupling-point ranking (paper Sec. V: the BFS ordering is prescribed)."""
+
+from repro.analysis.costmodel import rank_decouple_points
+from repro.frontend import compile_source
+from repro.workloads import bfs, cc
+
+
+def test_bfs_ranking_matches_paper():
+    """distances > edges > nodes(grouped) > fringe, exactly Sec. V's story."""
+    points = rank_decouple_points(compile_source(bfs.SOURCE))
+    order = [p.cls for p in points]
+    assert order == ["@distances", "@edges", "@nodes", "cur_fringe"]
+
+
+def test_nearby_accesses_grouped():
+    points = rank_decouple_points(compile_source(bfs.SOURCE))
+    nodes = next(p for p in points if p.cls == "@nodes")
+    assert len(nodes.loads) == 2  # nodes[v] and nodes[v+1] ride one point
+
+
+def test_value_mode_follows_aliasing():
+    points = {p.cls: p for p in rank_decouple_points(compile_source(bfs.SOURCE))}
+    assert points["@edges"].value_mode  # read-only: forward the value
+    assert not points["@distances"].value_mode  # written: prefetch only
+
+
+def test_cc_labels_prefetch_mode():
+    points = {p.cls: p for p in rank_decouple_points(compile_source(cc.SOURCE))}
+    assert not points["@labels"].value_mode
+
+
+def test_inner_loop_outweighs_outer():
+    src = """
+    void k(const int* restrict a, const int* restrict b, int* restrict out, int n) {
+      for (int i = 0; i < n; i++) {
+        int x = a[i];
+        for (int j = 0; j < n; j++) {
+          out[i] = out[i] + b[j];
+        }
+      }
+    }
+    """
+    points = rank_decouple_points(compile_source(src))
+    assert points[0].cls == "@out" or points[0].depth == 2
+    classes = [p.cls for p in points]
+    assert classes.index("@b") < classes.index("@a")

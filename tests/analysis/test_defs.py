@@ -1,0 +1,98 @@
+"""Def/use maps and the purity analysis."""
+
+from repro import ir
+from repro.analysis.defs import DefUse, pure_regs
+from repro.frontend import compile_source
+
+
+def test_defuse_counts():
+    body = [
+        ir.Assign("x", "mov", [0]),
+        ir.Assign("x", "add", ["x", 1]),
+        ir.Assign("y", "add", ["x", "x"]),
+    ]
+    du = DefUse(body)
+    assert len(du.defining_stmts("x")) == 2
+    assert du.single_def("x") is None
+    assert du.single_def("y") is body[2]
+    assert du.use_count("x") == 3
+
+
+def test_defuse_sees_nested():
+    body = [ir.For("i", 0, "n", 1, [ir.Load("v", "@a", "i")])]
+    du = DefUse(body)
+    assert du.single_def("v").kind == "load"
+    assert du.defining_stmts("i")[0].kind == "for"
+
+
+def test_pure_params_and_consts():
+    body = [ir.Assign("x", "add", ["n", 1]), ir.Assign("y", "mul", ["x", 2])]
+    pure = pure_regs(body, ["n"])
+    assert {"n", "x", "y"} <= pure
+
+
+def test_load_breaks_purity():
+    body = [ir.Load("v", "@a", 0), ir.Assign("x", "add", ["v", 1])]
+    pure = pure_regs(body, [])
+    assert "v" not in pure and "x" not in pure
+
+
+def test_accumulator_not_pure():
+    # acc = 0; acc = acc + v (v impure): the self-referential add is impure.
+    body = [
+        ir.Load("v", "@a", 0),
+        ir.Assign("acc", "mov", [0]),
+        ir.Assign("acc", "add", ["acc", "v"]),
+    ]
+    assert "acc" not in pure_regs(body, [])
+
+
+def test_self_counter_not_pure_via_lfp():
+    # i = 0; i = i + 1 inside a loop: conservatively impure under LFP
+    # (its trip-dependent value cannot be recomputed without the loop).
+    body = [
+        ir.Assign("i", "mov", [0]),
+        ir.Loop([ir.Assign("%t", "add", ["i", 1]), ir.Assign("i", "mov", ["%t"])]),
+    ]
+    pure = pure_regs(body, [])
+    assert "%t" not in pure
+
+
+def test_pointer_swap_cycle_is_pure():
+    """The BFS fringe swap: a mov cycle of array handles must be replicable."""
+    src = """
+    void k(int* restrict f0, int* restrict f1, int n) {
+      int* restrict cur = f0;
+      int* restrict nxt = f1;
+      while (n > 0) {
+        int* restrict tmp = cur;
+        cur = nxt;
+        nxt = tmp;
+        n = n - 1;
+        cur[0] = n;
+      }
+    }
+    """
+    f = compile_source(src)
+    pure = pure_regs(f.body, f.scalar_params)
+    assert {"cur", "nxt", "tmp"} <= pure
+
+
+def test_read_shared_is_pure():
+    body = [ir.ReadShared("x", "total"), ir.Assign("y", "add", ["x", 1])]
+    assert {"x", "y"} <= pure_regs(body, [])
+
+
+def test_for_var_with_pure_bounds_is_pure():
+    body = [ir.For("i", 0, "n", 1, [ir.Assign("x", "add", ["i", 1])])]
+    pure = pure_regs(body, ["n"])
+    assert {"i", "x"} <= pure
+
+
+def test_for_var_with_impure_bounds_not_pure():
+    body = [
+        ir.Load("hi", "@a", 0),
+        ir.For("i", 0, "hi", 1, [ir.Assign("x", "add", ["i", 1])]),
+    ]
+    pure = pure_regs(body, [])
+    assert "i" not in pure and "x" not in pure

@@ -1,0 +1,49 @@
+"""Loop-nest indexing and phase-loop detection."""
+
+from repro import ir
+from repro.analysis.loops import LoopNestInfo, estimated_trip_weight, find_phase_loop
+from repro.frontend import compile_source
+from repro.workloads import bfs
+
+
+def test_depths():
+    inner = ir.Assign("x", "mov", [0])
+    body = [ir.Loop([ir.For("i", 0, 4, 1, [inner])])]
+    nests = LoopNestInfo(body)
+    assert nests.depth_of(inner) == 2
+    assert nests.innermost_loop(inner).kind == "for"
+    assert nests.depth_of(body[0]) == 0
+
+
+def test_if_does_not_add_depth():
+    inner = ir.Assign("x", "mov", [0])
+    body = [ir.For("i", 0, 4, 1, [ir.If("c", [inner], [])])]
+    assert LoopNestInfo(body).depth_of(inner) == 1
+
+
+def test_phase_loop_found_in_bfs():
+    f = compile_source(bfs.SOURCE)
+    loop = find_phase_loop(f.body)
+    assert loop is not None and loop.kind == "loop"
+
+
+def test_no_phase_loop_in_counted_kernel():
+    src = """
+    void k(const int* restrict a, int* restrict out, int n) {
+      for (int i = 0; i < n; i++) { out[i] = a[i]; }
+    }
+    """
+    assert find_phase_loop(compile_source(src).body) is None
+
+
+def test_phase_loop_requires_nest():
+    src = """
+    void k(int* restrict out, int n) {
+      while (n > 0) { out[n] = n; n = n - 1; }
+    }
+    """
+    assert find_phase_loop(compile_source(src).body) is None
+
+
+def test_trip_weight_grows_exponentially():
+    assert estimated_trip_weight(3) == 8 * estimated_trip_weight(2)

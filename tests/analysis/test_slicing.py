@@ -1,0 +1,41 @@
+"""Backward slicing across a region tree."""
+
+from repro import ir
+from repro.analysis.slicing import backward_slice
+
+
+def test_simple_chain():
+    body = [
+        ir.Assign("a", "mov", [1]),
+        ir.Assign("b", "add", ["a", 2]),
+        ir.Assign("c", "add", ["b", 3]),
+        ir.Assign("unrelated", "mov", [9]),
+    ]
+    ids, regs = backward_slice(body, ["c"])
+    assert {id(body[0]), id(body[1]), id(body[2])} <= ids
+    assert id(body[3]) not in ids
+    assert {"a", "b", "c"} <= regs
+
+
+def test_slice_through_loads():
+    body = [
+        ir.Assign("i", "mov", [0]),
+        ir.Load("v", "@a", "i"),
+        ir.Assign("addr", "add", ["v", 1]),
+    ]
+    ids, _ = backward_slice(body, ["addr"])
+    assert id(body[1]) in ids and id(body[0]) in ids
+
+
+def test_for_bounds_pulled_in():
+    bound = ir.Load("hi", "@a", 0)
+    body = [bound, ir.For("i", 0, "hi", 1, [ir.Assign("x", "add", ["i", 1])])]
+    ids, regs = backward_slice(body, ["x"])
+    assert id(bound) in ids
+    assert "hi" in regs
+
+
+def test_constants_dont_slice():
+    body = [ir.Assign("x", "mov", [5])]
+    ids, _ = backward_slice(body, [7])
+    assert ids == set()

@@ -1,0 +1,62 @@
+"""Bench harness: adapters, suites, normalization (on micro inputs)."""
+
+import pytest
+
+from repro.bench.harness import (
+    GraphBenchAdapter,
+    VariantRun,
+    gmean_speedup,
+    normalized_breakdowns,
+    normalized_energy,
+    profile_guided_pipeline,
+    run_suite,
+)
+from repro.workloads import bfs
+from repro.workloads.datasets import GraphInput
+from repro.workloads.graphs import uniform_random
+
+
+@pytest.fixture(scope="module")
+def micro_inputs():
+    return [
+        GraphInput("t1", "test", lambda: uniform_random(80, 3, seed=1)),
+        GraphInput("t2", "test", lambda: uniform_random(90, 3, seed=2)),
+    ]
+
+
+def test_gmean_speedup():
+    runs = [
+        VariantRun("v", "a", 10, True, {}, {}, {"speedup": 2.0}),
+        VariantRun("v", "b", 10, True, {}, {}, {"speedup": 8.0}),
+    ]
+    assert gmean_speedup(runs) == pytest.approx(4.0)
+
+
+def test_profile_guided_pipeline(micro_inputs, tiny_config):
+    adapter = GraphBenchAdapter(bfs)
+    best, results = profile_guided_pipeline(
+        adapter, micro_inputs, config=tiny_config, max_stages=3, top_k=3
+    )
+    assert best is not None
+    assert results
+
+
+def test_run_suite_end_to_end(micro_inputs, tiny_config):
+    adapter = GraphBenchAdapter(bfs)
+    suite = run_suite(
+        adapter,
+        micro_inputs[:1],
+        micro_inputs[1:],
+        config=tiny_config,
+        variants=("serial", "data-parallel", "phloem-static", "manual"),
+    )
+    for variant in ("serial", "data-parallel", "phloem-static", "manual"):
+        assert len(suite[variant]) == 1
+        assert all(r.ok for r in suite[variant])
+    assert suite["serial"][0].meta["speedup"] == 1.0
+    assert suite["phloem-static"][0].meta["speedup"] > 0
+
+    breakdowns = normalized_breakdowns(suite)
+    assert abs(sum(breakdowns["serial"].values()) - 1.0) < 1e-9
+    energy = normalized_energy(suite)
+    assert abs(sum(energy["serial"].values()) - 1.0) < 1e-9

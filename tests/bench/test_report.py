@@ -1,0 +1,29 @@
+"""ASCII renderers."""
+
+from repro.bench import report
+
+
+def test_render_table_aligns():
+    text = report.render_table("T", ["a", "longer"], [["x", 1.5], ["yy", 2.25]])
+    lines = text.splitlines()
+    assert "== T ==" in lines[1]
+    assert "1.50" in text and "2.25" in text
+
+
+def test_render_speedups():
+    table = {"bfs": {"serial": 1.0, "phloem": 4.5}, "cc": {"serial": 1.0, "phloem": 3.0}}
+    text = report.render_speedups("S", table)
+    assert "bfs" in text and "phloem" in text and "4.50" in text
+
+
+def test_render_stacked_totals():
+    table = {"bfs": {"serial": {"issue": 0.25, "backend": 0.75}}}
+    text = report.render_stacked("B", table, ["issue", "backend"])
+    assert "1.00" in text  # total column
+
+
+def test_render_distribution():
+    dist = {"bfs": {3: [1.0, 2.0, 3.0], 5: [2.5]}}
+    text = report.render_distribution("D", dist)
+    assert "bfs" in text
+    assert "2.00" in text  # median of the 3-unit bucket

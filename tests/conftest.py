@@ -1,0 +1,28 @@
+"""Shared fixtures: tiny inputs and configs that keep unit tests fast."""
+
+import pytest
+
+from repro.pipette.config import CacheConfig, MachineConfig
+from repro.workloads.graphs import uniform_random
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """A small machine: full feature set, tiny caches, quick to simulate."""
+    return MachineConfig(
+        l1=CacheConfig(4 * 1024, 4, 4),
+        l2=CacheConfig(16 * 1024, 8, 12),
+        l3_per_core=CacheConfig(64 * 1024, 16, 40),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """A 300-vertex graph small enough for exhaustive validation."""
+    return uniform_random(300, 4, seed=9)
+
+
+@pytest.fixture(scope="session")
+def micro_graph():
+    """A 60-vertex graph for the slowest (replicated/multi-variant) tests."""
+    return uniform_random(60, 3, seed=5)

@@ -1,0 +1,137 @@
+"""Intra-stage cleanups: dead code, empty control, copy propagation."""
+
+from repro import ir
+from repro.core.cleanup import (
+    copy_propagate,
+    cleanup_stage,
+    prune_empty_control,
+    remove_dead_code,
+    stage_is_trivial,
+)
+
+
+def test_dead_assign_removed():
+    body = [ir.Assign("x", "mov", [1]), ir.Store("@a", 0, 2)]
+    remove_dead_code(body)
+    assert [s.kind for s in body] == ["store"]
+
+
+def test_dead_chain_removed_transitively():
+    body = [
+        ir.Assign("a", "mov", [1]),
+        ir.Assign("b", "add", ["a", 1]),
+        ir.Assign("c", "add", ["b", 1]),
+    ]
+    remove_dead_code(body)
+    assert body == []
+
+
+def test_dead_load_removed():
+    body = [ir.Load("v", "@a", 0)]
+    remove_dead_code(body)
+    assert body == []
+
+
+def test_effectful_kept():
+    body = [ir.Deq("x", 0), ir.Prefetch("@a", 1), ir.Call(None, "f", [])]
+    remove_dead_code(body)
+    assert len(body) == 3
+
+
+def test_live_out_respected():
+    body = [ir.Assign("x", "mov", [1])]
+    remove_dead_code(body, live_out=["x"])
+    assert len(body) == 1
+
+
+def test_handler_uses_keep_values():
+    body = [ir.Assign("dones", "mov", [0]), ir.Store("@a", 0, 1)]
+    handler = [ir.Assign("dones", "add", ["dones", 1])]
+    remove_dead_code(body, handler_bodies=(handler,))
+    assert body[0].kind == "assign"
+
+
+def test_prune_empty_loops_and_ifs():
+    body = [
+        ir.For("i", 0, 10, 1, []),
+        ir.If("c", [], []),
+        ir.Loop([]),
+        ir.Store("@a", 0, 1),
+    ]
+    prune_empty_control(body)
+    assert [s.kind for s in body] == ["store"]
+
+
+def test_prune_cascades():
+    body = [ir.For("i", 0, 10, 1, [ir.If("c", [], [])])]
+    prune_empty_control(body)
+    assert body == []
+
+
+def test_copy_propagation():
+    stage = ir.StageProgram(
+        0,
+        "t",
+        [
+            ir.Deq("%t0", 0),
+            ir.Assign("v", "mov", ["%t0"]),
+            ir.Store("@a", "v", "v"),
+        ],
+    )
+    copy_propagate(stage)
+    remove_dead_code(stage.body)
+    store = stage.body[-1]
+    assert store.index == "%t0" and store.value == "%t0"
+    assert all(s.kind != "assign" for s in stage.body)
+
+
+def test_copy_propagation_skips_multidef():
+    stage = ir.StageProgram(
+        0,
+        "t",
+        [
+            ir.Assign("x", "mov", [1]),
+            ir.Assign("x", "mov", [2]),
+            ir.Store("@a", 0, "x"),
+        ],
+    )
+    copy_propagate(stage)
+    assert stage.body[-1].value == "x"  # untouched
+
+
+def test_copy_propagation_resolves_chains():
+    stage = ir.StageProgram(
+        0,
+        "t",
+        [
+            ir.Deq("a", 0),
+            ir.Assign("b", "mov", ["a"]),
+            ir.Assign("c", "mov", ["b"]),
+            ir.Store("@x", 0, "c"),
+        ],
+    )
+    copy_propagate(stage)
+    assert stage.body[-1].value == "a"
+
+
+def test_stage_triviality():
+    trivial = ir.StageProgram(0, "t", [ir.Assign("x", "mov", [1]), ir.Barrier()])
+    real = ir.StageProgram(0, "t", [ir.Enq(0, 1)])
+    handlerful = ir.StageProgram(0, "t", [], handlers={0: [ir.Break(1)]})
+    assert stage_is_trivial(trivial)
+    assert not stage_is_trivial(real)
+    assert not stage_is_trivial(handlerful)
+
+
+def test_cleanup_stage_composite():
+    stage = ir.StageProgram(
+        0,
+        "t",
+        [
+            ir.Assign("dead", "mov", [9]),
+            ir.For("i", 0, 4, 1, [ir.Assign("alsodead", "add", ["i", 1])]),
+            ir.Store("@a", 0, 1),
+        ],
+    )
+    cleanup_stage(stage)
+    assert [s.kind for s in stage.body] == ["store"]

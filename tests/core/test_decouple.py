@@ -1,0 +1,72 @@
+"""Decoupling driver: selection, fallback, assembly, stage management."""
+
+from repro import ir
+from repro.core.decouple import decouple_function, drop_trivial_stages, renumber_stages
+from repro.workloads import bfs, spmm
+
+
+def test_bfs_full_depth():
+    pipeline, points = decouple_function(bfs.function(), 3)
+    assert len(pipeline.stages) == 4
+    assert len(points) == 3
+    # Points applied in program order: nodes before edges before distances.
+    classes = [p.cls for p in points]
+    assert classes == ["@nodes", "@edges", "@distances"]
+
+
+def test_queue_endpoints_assembled():
+    pipeline, _ = decouple_function(bfs.function(), 3)
+    for q in pipeline.queues.values():
+        assert q.producer[0] == "stage" and q.consumer[0] == "stage"
+        assert q.producer[1] < q.consumer[1]  # feed-forward only
+
+
+def test_zero_points_serial():
+    pipeline, points = decouple_function(bfs.function(), 0)
+    assert len(pipeline.stages) == 1
+    assert points == []
+    assert pipeline.queues == {}
+
+
+def test_rejection_fallback_spmm():
+    """SpMM's merge points are unsplittable; the driver falls back to the
+    pos-fetch points instead of failing."""
+    pipeline, points = decouple_function(spmm.function(), 2)
+    assert len(pipeline.stages) >= 2
+    assert all(p.cls in ("@a_pos", "@bt_pos") for p in points)
+
+
+def test_stage_names():
+    pipeline, _ = decouple_function(bfs.function(), 3)
+    names = [s.name for s in pipeline.stages]
+    assert names[0].startswith("fetch_")
+    assert names[-1] == "update"
+
+
+def test_renumber_stages():
+    pipeline, _ = decouple_function(bfs.function(), 3)
+    del pipeline.stages[1]
+    # Remove queues touching the deleted stage so renumbering is coherent.
+    pipeline.queues = {
+        qid: q
+        for qid, q in pipeline.queues.items()
+        if 1 not in (q.producer[1], q.consumer[1])
+    }
+    renumber_stages(pipeline)
+    assert [s.index for s in pipeline.stages] == [0, 1, 2]
+    for q in pipeline.queues.values():
+        assert q.producer[1] in (0, 1, 2)
+
+
+def test_drop_trivial_stages():
+    pipeline, _ = decouple_function(bfs.function(), 3)
+    trivial = ir.StageProgram(99, "noop", [ir.Assign("x", "mov", [1])])
+    pipeline.stages.append(trivial)
+    drop_trivial_stages(pipeline)
+    assert all(s.name != "noop" for s in pipeline.stages)
+    assert [s.index for s in pipeline.stages] == list(range(len(pipeline.stages)))
+
+
+def test_meta_points_recorded():
+    pipeline, points = decouple_function(bfs.function(), 2)
+    assert len(pipeline.meta["points"]) == 2

@@ -1,0 +1,80 @@
+"""Program-phase transform: shared cells, barriers, preserved semantics."""
+
+from repro import ir
+from repro.core.phases import prepare_phases
+from repro.frontend import compile_source
+from repro.runtime import run_serial
+from repro.workloads import bfs
+
+
+def test_bfs_gets_next_size_cell():
+    f = compile_source(bfs.SOURCE)
+    shared = prepare_phases(f)
+    assert shared == ["next_size"]
+    kinds = [s.kind for s in ir.walk(f.body)]
+    assert kinds.count("barrier") == 2
+    assert "write_shared" in kinds and "read_shared" in kinds
+
+
+def test_write_before_first_barrier_read_between():
+    f = compile_source(bfs.SOURCE)
+    prepare_phases(f)
+    phase_body = next(s for s in f.body if s.kind == "loop").body
+    order = [s.kind for s in phase_body]
+    w = order.index("write_shared")
+    b1 = order.index("barrier")
+    r = order.index("read_shared")
+    b2 = order.index("barrier", b1 + 1)
+    assert w < b1 < r < b2
+
+
+def test_downstream_uses_renamed():
+    f = compile_source(bfs.SOURCE)
+    prepare_phases(f)
+    reads = [s for s in ir.walk(f.body) if s.kind == "read_shared"]
+    assert reads[0].dst == "next_size__phase"
+    # The epilogue assignment consumes the renamed value.
+    uses = [
+        s
+        for s in ir.walk(f.body)
+        if s.kind == "assign" and "next_size__phase" in s.uses()
+    ]
+    assert uses
+
+
+def test_serial_semantics_preserved(tiny_graph, tiny_config):
+    plain = bfs.function()
+    transformed = bfs.function()
+    prepare_phases(transformed)
+    arrays, scalars = bfs.make_env(tiny_graph)
+    r1 = run_serial(plain, arrays, scalars, config=tiny_config)
+    r2 = run_serial(transformed, arrays, scalars, config=tiny_config)
+    assert r1.arrays["distances"] == r2.arrays["distances"]
+
+
+def test_kernel_without_phase_loop_untouched():
+    src = """
+    void k(const int* restrict a, int* restrict out, int n) {
+      for (int i = 0; i < n; i++) { out[i] = a[i]; }
+    }
+    """
+    f = compile_source(src)
+    before = ir.count_stmts(f.body)
+    assert prepare_phases(f) == []
+    assert ir.count_stmts(f.body) == before
+
+
+def test_phase_loop_without_cross_scalars_gets_barrier():
+    src = """
+    void k(int* restrict out, int n) {
+      int r = n;
+      while (r > 0) {
+        for (int i = 0; i < n; i++) { out[i] = r; }
+        r = r - 1;
+      }
+    }
+    """
+    f = compile_source(src)
+    assert prepare_phases(f) == []
+    kinds = [s.kind for s in ir.walk(f.body)]
+    assert "barrier" in kinds

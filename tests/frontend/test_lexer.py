@@ -1,0 +1,76 @@
+"""Mini-C lexer behaviour."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend.lexer import tokenize
+
+
+def _kinds(src):
+    return [(t.kind, t.value) for t in tokenize(src) if t.kind != "eof"]
+
+
+def test_idents_and_keywords():
+    toks = _kinds("int foo while bar")
+    assert toks == [
+        ("keyword", "int"),
+        ("ident", "foo"),
+        ("keyword", "while"),
+        ("ident", "bar"),
+    ]
+
+
+def test_numbers():
+    toks = _kinds("42 0x1F 3.5 1e3 2.5e-2")
+    values = [v for _, v in toks]
+    assert values == [42, 31, 3.5, 1000.0, 0.025]
+
+
+def test_integer_suffixes():
+    toks = _kinds("42u 7L 1.0f 3f")
+    values = [v for _, v in toks]
+    assert values == [42, 7, 1.0, 3.0]
+
+
+def test_punctuation_longest_match():
+    toks = _kinds("a <<= b << c <= d < e")
+    puncts = [v for k, v in toks if k == "punct"]
+    assert puncts == ["<<=", "<<", "<=", "<"]
+
+
+def test_comments_skipped():
+    toks = _kinds("a // line comment\n b /* block\n comment */ c")
+    assert [v for _, v in toks] == ["a", "b", "c"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(ParseError, match="unterminated"):
+        tokenize("/* nope")
+
+
+def test_pragma_token():
+    toks = tokenize("#pragma phloem\nint x;")
+    assert toks[0].kind == "pragma"
+    assert toks[0].value == "phloem"
+
+
+def test_includes_ignored():
+    toks = _kinds("#include <limits.h>\nint x;")
+    assert toks[0] == ("keyword", "int")
+
+
+def test_unknown_preprocessor_rejected():
+    with pytest.raises(ParseError, match="unsupported preprocessor"):
+        tokenize("#ifdef FOO")
+
+
+def test_unexpected_char():
+    with pytest.raises(ParseError, match="unexpected character"):
+        tokenize("int $x;")
+
+
+def test_line_numbers():
+    toks = tokenize("a\nb\n  c")
+    a, b, c = toks[0], toks[1], toks[2]
+    assert (a.line, b.line, c.line) == (1, 2, 3)
+    assert c.col == 3

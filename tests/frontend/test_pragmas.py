@@ -1,0 +1,80 @@
+"""Table II parity: the four Phloem pragmas parse and attach correctly."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import compile_source
+from repro.frontend.pragmas import DECOUPLE_MARK, collect_function_pragmas, parse_pragma
+
+
+def test_parse_each_pragma():
+    assert parse_pragma("phloem") == ("phloem", {})
+    assert parse_pragma("decouple") == ("decouple", {})
+    assert parse_pragma("replicate 4") == ("replicate", {"value": 4})
+    assert parse_pragma("distribute bits=3") == ("distribute", {"bits": 3})
+
+
+def test_unknown_pragma_rejected():
+    with pytest.raises(ParseError, match="unknown #pragma"):
+        parse_pragma("vectorize")
+
+
+def test_empty_pragma_rejected():
+    with pytest.raises(ParseError):
+        parse_pragma("   ")
+
+
+def test_collect_function_annotations():
+    ann = collect_function_pragmas(["phloem", "replicate 4"])
+    assert ann == {"phloem": True, "replicate": 4}
+
+
+def test_replicate_needs_count():
+    with pytest.raises(ParseError, match="positive count"):
+        collect_function_pragmas(["replicate zero"])
+
+
+def test_decouple_invalid_at_function_level():
+    with pytest.raises(ParseError):
+        collect_function_pragmas(["decouple"])
+
+
+def test_phloem_annotation_via_frontend():
+    f = compile_source("#pragma phloem\nvoid k(int n) { }")
+    assert f.pragmas == {"phloem": True}
+
+
+def test_decouple_marker_in_body():
+    src = """
+    #pragma phloem
+    void k(const int* restrict a, int* restrict out, int n) {
+      for (int i = 0; i < n; i++) {
+        #pragma decouple
+        int v = a[i];
+        out[i] = v;
+      }
+    }
+    """
+    f = compile_source(src)
+    from repro.ir import walk
+
+    comments = [s for s in walk(f.body) if s.kind == "comment"]
+    assert any(c.text == DECOUPLE_MARK for c in comments)
+
+
+def test_decouple_hint_forces_ranking():
+    src = """
+    void k(const int* restrict a, const int* restrict b, int* restrict out, int n) {
+      for (int i = 0; i < n; i++) {
+        #pragma decouple
+        int v = a[i];
+        out[i] = b[v];
+      }
+    }
+    """
+    from repro.analysis import rank_decouple_points
+
+    f = compile_source(src)
+    points = rank_decouple_points(f)
+    assert points[0].hinted
+    assert points[0].cls == "@a"

@@ -1,0 +1,111 @@
+"""IRBuilder: block nesting, fresh names, and emitted structure."""
+
+import pytest
+
+from repro import ir
+
+
+def test_fresh_names_unique():
+    b = ir.IRBuilder()
+    names = {b.fresh() for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_fresh_hint():
+    b = ir.IRBuilder()
+    assert b.fresh("v").startswith("v")
+
+
+def test_simple_sequence():
+    b = ir.IRBuilder()
+    x = b.binop("add", 1, 2)
+    b.store("@out", 0, x)
+    body = b.finish()
+    assert [s.kind for s in body] == ["assign", "store"]
+
+
+def test_for_nesting():
+    b = ir.IRBuilder()
+    with b.for_("i", 0, "n"):
+        v = b.load("@a", "i")
+        with b.if_(b.binop("gt", v, 0)):
+            b.enq(0, v)
+    body = b.finish()
+    assert body[0].kind == "for"
+    inner = body[0].body
+    assert inner[0].kind == "load"
+    assert inner[-1].kind == "if"
+    assert inner[-1].then_body[0].kind == "enq"
+
+
+def test_if_else_arms():
+    b = ir.IRBuilder()
+    with b.if_else("c") as (then, els):
+        with then:
+            b.mov(1, dst="x")
+        with els:
+            b.mov(2, dst="x")
+    body = b.finish()
+    assert body[0].kind == "if"
+    assert body[0].then_body[0].args == [1]
+    assert body[0].else_body[0].args == [2]
+
+
+def test_loop_and_break():
+    b = ir.IRBuilder()
+    with b.loop():
+        b.break_()
+    body = b.finish()
+    assert body[0].kind == "loop"
+    assert body[0].body[0].kind == "break"
+
+
+def test_enq_ctrl_string_coerced():
+    b = ir.IRBuilder()
+    b.enq_ctrl(1, "NEXT")
+    (stmt,) = b.finish()
+    assert stmt.ctrl == ir.Ctrl("NEXT")
+
+
+def test_atomic_helpers():
+    b = ir.IRBuilder()
+    b.atomic_add("@a", "i", 1)
+    b.atomic_min("@a", "i", "x")
+    b.atomic_or("@a", "i", 4)
+    kinds = [(s.kind, s.op) for s in b.finish()]
+    assert kinds == [("atomic_rmw", "add"), ("atomic_rmw", "min"), ("atomic_rmw", "or")]
+
+
+def test_dist_helpers():
+    b = ir.IRBuilder()
+    b.enq_dist(2, "v", "r")
+    b.enq_ctrl_dist(2, "DONE")
+    body = b.finish()
+    assert body[0].kind == "enq_dist"
+    assert body[1].kind == "enq_ctrl_dist"
+    assert body[1].ctrl == ir.Ctrl("DONE")
+
+
+def test_unclosed_block_rejected():
+    b = ir.IRBuilder()
+    cm = b.for_("i", 0, 3)
+    cm.__enter__()
+    with pytest.raises(RuntimeError):
+        b.finish()
+
+
+def test_block_collects_detached():
+    b = ir.IRBuilder()
+    with b.block() as handler:
+        b.break_()
+    assert handler[0].kind == "break"
+    assert b.finish() == []  # handler statements stay out of the main body
+
+
+def test_shared_helpers():
+    b = ir.IRBuilder()
+    x = b.read_shared("total")
+    b.write_shared("total", x)
+    b.barrier("phase")
+    kinds = [s.kind for s in b.finish()]
+    assert kinds == ["read_shared", "write_shared", "barrier"]

@@ -1,0 +1,136 @@
+"""Operator semantics: the single source of truth the interpreter uses."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import ops
+
+
+class TestArity:
+    def test_binary(self):
+        assert ops.arity("add") == 2
+
+    def test_unary(self):
+        assert ops.arity("mov") == 1
+
+    def test_ternary(self):
+        assert ops.arity("select") == 3
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            ops.arity("bogus")
+
+
+class TestIntegerSemantics:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 3, 4, 7),
+            ("sub", 3, 4, -1),
+            ("mul", -3, 4, -12),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 1, 4, 16),
+            ("shr", 16, 4, 1),
+            ("min", 3, -2, -2),
+            ("max", 3, -2, 3),
+        ],
+    )
+    def test_arith(self, op, a, b, expected):
+        assert ops.evaluate(op, [a, b]) == expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3)],
+    )
+    def test_div_truncates_toward_zero(self, a, b, expected):
+        """C semantics, not Python floor division."""
+        assert ops.evaluate("div", [a, b]) == expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 2, 1), (-7, 2, -1), (7, -2, 1), (-7, -2, -1)],
+    )
+    def test_mod_follows_dividend(self, a, b, expected):
+        assert ops.evaluate("mod", [a, b]) == expected
+
+    def test_mod_floats_rejected(self):
+        with pytest.raises(TypeError):
+            ops.evaluate("mod", [1.5, 2])
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("lt", 1, 2, 1),
+            ("lt", 2, 2, 0),
+            ("le", 2, 2, 1),
+            ("gt", 3, 2, 1),
+            ("ge", 2, 3, 0),
+            ("eq", 5, 5, 1),
+            ("ne", 5, 5, 0),
+        ],
+    )
+    def test_compare(self, op, a, b, expected):
+        assert ops.evaluate(op, [a, b]) == expected
+
+    def test_compare_ops_set(self):
+        assert "lt" in ops.COMPARE_OPS
+        assert "add" not in ops.COMPARE_OPS
+
+
+class TestUnaryAndSelect:
+    def test_neg(self):
+        assert ops.evaluate("neg", [5]) == -5
+
+    def test_not(self):
+        assert ops.evaluate("not", [0]) == 1
+        assert ops.evaluate("not", [7]) == 0
+
+    def test_mov(self):
+        assert ops.evaluate("mov", [42]) == 42
+
+    def test_select(self):
+        assert ops.evaluate("select", [1, 10, 20]) == 10
+        assert ops.evaluate("select", [0, 10, 20]) == 20
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            ops.evaluate("nope", [1])
+
+
+class TestPairs:
+    def test_pack_unpack_roundtrip(self):
+        packed = ops.evaluate("pack2", [7, 9])
+        assert ops.evaluate("fst", [packed]) == 7
+        assert ops.evaluate("snd", [packed]) == 9
+
+    @given(st.integers(), st.floats(allow_nan=False))
+    def test_pack_roundtrip_property(self, a, b):
+        packed = ops.evaluate("pack2", [a, b])
+        assert ops.evaluate("fst", [packed]) == a
+        assert ops.evaluate("snd", [packed]) == b
+
+
+@given(st.integers(-(2**40), 2**40), st.integers(-(2**40), 2**40))
+def test_add_sub_inverse(a, b):
+    assert ops.evaluate("sub", [ops.evaluate("add", [a, b]), b]) == a
+
+
+@given(st.integers(-(2**30), 2**30), st.integers(1, 2**20))
+def test_divmod_identity(a, b):
+    q = ops.evaluate("div", [a, b])
+    r = ops.evaluate("mod", [a, b])
+    assert q * b + r == a
+    assert abs(r) < b
+
+
+@given(st.integers(), st.integers())
+def test_minmax_cover(a, b):
+    lo = ops.evaluate("min", [a, b])
+    hi = ops.evaluate("max", [a, b])
+    assert {lo, hi} == {a, b}
+    assert lo <= hi

@@ -1,0 +1,46 @@
+"""Textual IR dumps: stable, human-readable fragments."""
+
+from repro import ir
+
+
+def test_format_stmt_samples():
+    assert ir.format_stmt(ir.Assign("x", "add", ["a", 1])) == "x = add(a, 1)"
+    assert ir.format_stmt(ir.Load("v", "@a", "i")) == "v = load @a[i]"
+    assert ir.format_stmt(ir.Store("@a", 0, "v")) == "store @a[0] = v"
+    assert ir.format_stmt(ir.Enq(3, "v")) == "enq(q3, v)"
+    assert ir.format_stmt(ir.Deq("x", 2)) == "x = deq(q2)"
+    assert ir.format_stmt(ir.EnqCtrl(1, ir.Ctrl("NEXT"))) == "enq_ctrl(q1, NEXT)"
+    assert "barrier" in ir.format_stmt(ir.Barrier("phase"))
+    assert ir.format_stmt(ir.Break(2)) == "break 2"
+
+
+def test_format_body_indents():
+    body = [ir.For("i", 0, "n", 1, [ir.If("c", [ir.Break()], [])])]
+    text = ir.format_body(body)
+    lines = text.splitlines()
+    assert lines[0].startswith("for i")
+    assert lines[1].startswith("  if")
+    assert lines[2].startswith("    break")
+
+
+def test_format_function_header():
+    f = ir.Function("bfs", ["n"], {"a": ir.ArrayDecl("a")}, [ir.Assign("x", "mov", [0])])
+    text = ir.format_function(f)
+    assert "func bfs(n)" in text
+    assert "arrays(a)" in text
+
+
+def test_format_pipeline_lists_everything():
+    s0 = ir.StageProgram(0, "p", [ir.Enq(0, "n")])
+    s1 = ir.StageProgram(1, "c", [ir.Loop([ir.Deq("x", 1)])], handlers={1: [ir.Break(1)]})
+    queues = [
+        ir.QueueSpec(0, ("stage", 0), ("ra", 0)),
+        ir.QueueSpec(1, ("ra", 0), ("stage", 1)),
+    ]
+    ras = [ir.RASpec(0, ir.RA_INDIRECT, "@a", 0, 1)]
+    p = ir.PipelineProgram("demo", [s0, s1], queues, ras, {"a": ir.ArrayDecl("a")}, ["n"])
+    text = ir.format_pipeline(p)
+    assert "pipeline demo" in text
+    assert "RA(0, indirect @a" in text
+    assert "handler(q1):" in text
+    assert "stage 0: p" in text

@@ -1,0 +1,139 @@
+"""Statement node invariants: uses/defs/blocks/clone for every kind."""
+
+import pytest
+
+from repro import ir
+
+
+def test_assign_uses_defs():
+    s = ir.Assign("x", "add", ["a", 3])
+    assert list(s.uses()) == ["a"]
+    assert s.defs() == ("x",)
+
+
+def test_assign_rejects_bad_op():
+    with pytest.raises(ValueError):
+        ir.Assign("x", "frobnicate", ["a"])
+
+
+def test_assign_rejects_bad_arity():
+    with pytest.raises(ValueError):
+        ir.Assign("x", "add", ["a"])
+
+
+def test_load_uses_pointer_register():
+    direct = ir.Load("v", "@arr", "i")
+    via_ptr = ir.Load("v", "ptr", "i")
+    assert "i" in direct.uses() and "@arr" not in direct.uses()
+    assert set(via_ptr.uses()) == {"ptr", "i"}
+    assert direct.defs() == ("v",)
+
+
+def test_store_uses():
+    s = ir.Store("@arr", "i", "v")
+    assert set(s.uses()) == {"i", "v"}
+    assert s.defs() == ()
+
+
+def test_prefetch_uses():
+    assert set(ir.Prefetch("@a", "i").uses()) == {"i"}
+
+
+def test_queue_ops():
+    assert list(ir.Enq(1, "v").uses()) == ["v"]
+    assert ir.Enq(1, 7).uses() == ()
+    assert ir.Deq("x", 2).defs() == ("x",)
+    assert ir.Peek("x", 2).defs() == ("x",)
+    assert list(ir.IsControl("c", "v").uses()) == ["v"]
+
+
+def test_enq_ctrl_holds_ctrl():
+    s = ir.EnqCtrl(3, ir.Ctrl("NEXT"))
+    assert s.ctrl == ir.Ctrl("NEXT")
+    assert s.clone().ctrl == s.ctrl
+
+
+def test_for_structure():
+    body = [ir.Assign("x", "mov", [1])]
+    loop = ir.For("i", 0, "n", 1, body)
+    assert loop.defs() == ("i",)
+    assert list(loop.uses()) == ["n"]
+    assert loop.blocks() == (body,)
+
+
+def test_if_blocks():
+    s = ir.If("c", [ir.Break()], [ir.Continue()])
+    assert list(s.uses()) == ["c"]
+    assert len(s.blocks()) == 2
+
+
+def test_break_levels():
+    assert ir.Break().levels == 1
+    assert ir.Break(2).clone().levels == 2
+
+
+def test_atomic_rmw():
+    s = ir.AtomicRMW("old", "add", "@a", "i", "v")
+    assert set(s.uses()) == {"i", "v"}
+    assert s.defs() == ("old",)
+    with pytest.raises(ValueError):
+        ir.AtomicRMW("old", "xor", "@a", "i", "v")
+
+
+def test_atomic_rmw_no_dst():
+    s = ir.AtomicRMW(None, "add", "@a", "i", "v")
+    assert s.defs() == ()
+
+
+def test_enq_dist():
+    s = ir.EnqDist(4, "v", "r")
+    assert set(s.uses()) == {"v", "r"}
+
+
+def test_shared_cells_stmts():
+    w = ir.WriteShared("total", "x")
+    r = ir.ReadShared("y", "total")
+    assert list(w.uses()) == ["x"]
+    assert r.defs() == ("y",)
+
+
+def test_clone_is_deep():
+    inner = ir.Assign("x", "mov", [1])
+    loop = ir.Loop([ir.If("c", [inner], [])])
+    copy = loop.clone()
+    copy.body[0].then_body[0].args[0] = 99
+    assert inner.args[0] == 1
+
+
+def test_walk_visits_nested():
+    body = [
+        ir.For("i", 0, 10, 1, [ir.If("c", [ir.Assign("x", "mov", [1])], [ir.Break()])]),
+        ir.Barrier(),
+    ]
+    kinds = [s.kind for s in ir.walk(body)]
+    assert kinds == ["for", "if", "assign", "break", "barrier"]
+
+
+def test_walk_with_depth():
+    body = [ir.Loop([ir.For("i", 0, 2, 1, [ir.Assign("x", "mov", [0])])])]
+    depths = {s.kind: d for s, d in ir.walk_with_depth(body)}
+    assert depths["loop"] == 0
+    assert depths["for"] == 1
+    assert depths["assign"] == 2
+
+
+def test_count_stmts():
+    body = [ir.Loop([ir.Assign("x", "mov", [0]), ir.Break()])]
+    assert ir.count_stmts(body) == 3
+
+
+def test_repr_does_not_crash():
+    for stmt in (
+        ir.Assign("x", "add", ["a", 1]),
+        ir.Load("v", "@a", "i"),
+        ir.EnqCtrl(0, ir.Ctrl("DONE")),
+        ir.Barrier("phase"),
+        ir.Call("r", "work", ["x"]),
+        ir.EnqCtrlDist(1, ir.Ctrl("NEXT")),
+    ):
+        assert isinstance(repr(stmt), str)

@@ -1,0 +1,50 @@
+"""Operand conventions and control values."""
+
+from repro.ir import values
+
+
+def test_is_reg():
+    assert values.is_reg("x")
+    assert values.is_reg("%t0")
+    assert not values.is_reg("@arr")
+    assert not values.is_reg(3)
+
+
+def test_is_array_symbol():
+    assert values.is_array_symbol("@arr")
+    assert not values.is_array_symbol("arr")
+
+
+def test_is_const():
+    assert values.is_const(3)
+    assert values.is_const(2.5)
+    assert not values.is_const(True)  # booleans are not IR constants
+    assert not values.is_const("x")
+
+
+def test_array_name():
+    assert values.array_name("@edges") == "edges"
+
+
+def test_array_name_rejects_reg():
+    import pytest
+
+    with pytest.raises(ValueError):
+        values.array_name("edges")
+
+
+def test_ctrl_equality_and_hash():
+    a, b = values.Ctrl("NEXT"), values.Ctrl("NEXT")
+    assert a == b and hash(a) == hash(b)
+    assert values.Ctrl("NEXT") != values.Ctrl("DONE")
+
+
+def test_is_control():
+    assert values.is_control(values.Ctrl("DONE"))
+    assert not values.is_control(5)
+    assert not values.is_control("DONE")
+
+
+def test_wellknown_names():
+    assert values.Ctrl.NEXT == "NEXT"
+    assert values.Ctrl.DONE == "DONE"

@@ -1,0 +1,60 @@
+"""Table III parity: the evaluation configuration matches the paper."""
+
+from repro.pipette.config import PIPETTE_1CORE, PIPETTE_4CORE, SCALED_1CORE, MachineConfig
+
+
+def test_core_parameters():
+    cfg = PIPETTE_1CORE
+    assert cfg.cores == 1
+    assert cfg.smt_threads == 4  # "scaled to four SMT threads"
+    assert cfg.issue_width == 6  # "6-wide out-of-order issue"
+    assert cfg.freq_ghz == 3.5
+
+
+def test_pipette_parameters():
+    cfg = PIPETTE_1CORE
+    assert cfg.max_queues == 16  # "16 queues max"
+    assert cfg.max_ras == 4  # "4 RAs"
+    assert cfg.queue_capacity == 24  # "queues up to 24 elements deep"
+
+
+def test_cache_hierarchy():
+    cfg = PIPETTE_1CORE
+    assert (cfg.l1.size, cfg.l1.ways, cfg.l1.latency) == (32 * 1024, 8, 4)
+    assert (cfg.l2.size, cfg.l2.ways, cfg.l2.latency) == (256 * 1024, 8, 12)
+    assert (cfg.l3_per_core.size, cfg.l3_per_core.ways, cfg.l3_per_core.latency) == (
+        2 * 1024 * 1024,
+        16,
+        40,
+    )
+    assert cfg.dram_latency == 120  # "120-cycle minimum latency"
+    assert cfg.dram_controllers == 2  # "2 controllers"
+
+
+def test_l3_scales_with_cores():
+    assert PIPETTE_4CORE.l3.size == 4 * PIPETTE_1CORE.l3.size
+    assert PIPETTE_4CORE.total_threads == 16
+
+
+def test_cache_sets():
+    cfg = PIPETTE_1CORE
+    assert cfg.l1.sets == 32 * 1024 // (64 * 8)
+
+
+def test_with_cores():
+    scaled = PIPETTE_1CORE.with_cores(4)
+    assert scaled.cores == 4
+    assert scaled.l1.size == PIPETTE_1CORE.l1.size
+
+
+def test_op_latency_defaults():
+    cfg = MachineConfig()
+    assert cfg.op_latency("add") == 1
+    assert cfg.op_latency("mul") == 3
+    assert cfg.op_latency("div") == 12
+
+
+def test_scaled_config_keeps_latencies():
+    assert SCALED_1CORE.l1.latency == PIPETTE_1CORE.l1.latency
+    assert SCALED_1CORE.l3.latency == PIPETTE_1CORE.l3.latency
+    assert SCALED_1CORE.l3.size < PIPETTE_1CORE.l3.size

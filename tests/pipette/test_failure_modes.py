@@ -1,0 +1,78 @@
+"""Failure injection: the simulator fails loudly and informatively."""
+
+import pytest
+
+from repro import ir
+from repro.errors import DeadlockError, SimulationError
+from repro.pipette import Machine, MachineConfig, RunSpec
+
+
+def test_deadlock_report_names_threads_and_queues():
+    b0 = ir.IRBuilder()
+    b0.deq(0)
+    s0 = ir.StageProgram(0, "alpha", b0.finish())
+    b1 = ir.IRBuilder()
+    b1.deq(1)
+    s1 = ir.StageProgram(1, "beta", b1.finish())
+    pipe = ir.PipelineProgram(
+        "dl",
+        [s0, s1],
+        [
+            ir.QueueSpec(0, ("stage", 1), ("stage", 0)),
+            ir.QueueSpec(1, ("stage", 0), ("stage", 1)),
+        ],
+        [],
+        {},
+        [],
+    )
+    with pytest.raises(DeadlockError) as excinfo:
+        Machine(MachineConfig()).run(RunSpec(pipe, {}, {}))
+    message = str(excinfo.value)
+    assert "alpha" in message and "beta" in message
+    assert "deq" in message
+
+
+def test_store_out_of_bounds_names_array():
+    b = ir.IRBuilder()
+    b.store("@buf", 99, 1)
+    stage = ir.StageProgram(0, "w", b.finish())
+    pipe = ir.PipelineProgram("t", [stage], [], [], {"buf": ir.ArrayDecl("buf")}, [])
+    with pytest.raises(SimulationError, match="buf"):
+        Machine(MachineConfig()).run(RunSpec(pipe, {"buf": [0]}, {}))
+
+
+def test_pointer_misuse_reported():
+    b = ir.IRBuilder()
+    b.mov(5, dst="p")  # scalar, not a handle
+    b.load("p", 0)
+    stage = ir.StageProgram(0, "w", b.finish())
+    pipe = ir.PipelineProgram("t", [stage], [], [], {}, [])
+    with pytest.raises(SimulationError, match="pointer"):
+        Machine(MachineConfig()).run(RunSpec(pipe, {}, {}))
+
+
+def test_scan_ra_rejects_ctrl_mid_pair():
+    b0 = ir.IRBuilder()
+    b0.enq(0, 0)
+    b0.enq_ctrl(0, "NEXT")  # arrives where 'end' belongs
+    s0 = ir.StageProgram(0, "p", b0.finish())
+    b1 = ir.IRBuilder()
+    b1.deq(1)
+    s1 = ir.StageProgram(1, "c", b1.finish())
+    pipe = ir.PipelineProgram(
+        "t",
+        [s0, s1],
+        [ir.QueueSpec(0, ("stage", 0), ("ra", 0)), ir.QueueSpec(1, ("ra", 0), ("stage", 1))],
+        [ir.RASpec(0, ir.RA_SCAN, "@a", 0, 1)],
+        {"a": ir.ArrayDecl("a")},
+        [],
+    )
+    with pytest.raises(SimulationError, match="mid-pair"):
+        Machine(MachineConfig()).run(RunSpec(pipe, {"a": [1, 2, 3]}, {}))
+
+
+def test_dangling_break_detected():
+    stage = ir.StageProgram(0, "w", [ir.Loop([ir.Break(1)]), ir.Break(1)])
+    pipe = ir.PipelineProgram("t", [stage], [], [], {}, [])
+    with pytest.raises(Exception):
+        Machine(MachineConfig()).run(RunSpec(pipe, {}, {}))

@@ -1,0 +1,55 @@
+"""Table I parity: the Pipette ISA surface exists and behaves."""
+
+from repro import ir
+from repro.pipette import isa
+from repro.pipette.queues import HWQueue
+
+
+def test_table1_surface_is_complete():
+    expected = {
+        "enq",
+        "deq",
+        "peek",
+        "setup_reference_accelerator",
+        "enq_ctrl",
+        "is_control",
+        "setup_control_value_handler",
+    }
+    assert set(isa.ISA_SURFACE) == expected
+
+
+def test_modes():
+    assert isa.INDIRECT == ir.RA_INDIRECT
+    assert isa.SCAN == ir.RA_SCAN
+
+
+def test_enq_deq_roundtrip():
+    q = HWQueue(0, 4, 0)
+    isa.enq(q, 37)
+    value, _ = isa.deq(q)
+    assert value == 37
+
+
+def test_peek_nondestructive():
+    q = HWQueue(0, 4, 0)
+    isa.enq(q, 5)
+    assert isa.peek(q)[0] == 5
+    assert isa.deq(q)[0] == 5
+
+
+def test_control_values_in_band():
+    q = HWQueue(0, 4, 0)
+    isa.enq(q, 1)
+    isa.enq_ctrl(q, "NEXT")
+    data, _ = isa.deq(q)
+    ctrl, _ = isa.deq(q)
+    assert not isa.is_control(data)
+    assert isa.is_control(ctrl)
+    assert ctrl == ir.Ctrl("NEXT")
+
+
+def test_blocking_indicated_by_none():
+    q = HWQueue(0, 1, 0)
+    assert isa.deq(q) is None  # empty
+    isa.enq(q, 1)
+    assert isa.enq(q, 2) is None  # full

@@ -1,0 +1,125 @@
+"""Hardware queue semantics: FIFO order, capacity, timestamps."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pipette.queues import HWQueue
+
+
+def test_fifo_order():
+    q = HWQueue(0, capacity=4, latency=0)
+    for v in (1, 2, 3):
+        assert q.try_enq(0.0, v) is not None
+    assert q.try_deq(10.0)[0] == 1
+    assert q.try_deq(10.0)[0] == 2
+    assert q.try_deq(10.0)[0] == 3
+
+
+def test_empty_deq_returns_none():
+    q = HWQueue(0, 4, 0)
+    assert q.try_deq(0.0) is None
+
+
+def test_capacity_blocks():
+    q = HWQueue(0, capacity=2, latency=0)
+    assert q.try_enq(0.0, 1) is not None
+    assert q.try_enq(0.0, 2) is not None
+    assert q.try_enq(0.0, 3) is None  # full
+    q.try_deq(5.0)
+    assert q.try_enq(6.0, 3) is not None
+
+
+def test_latency_delays_visibility():
+    q = HWQueue(0, 4, latency=3)
+    q.try_enq(10.0, 42)
+    value, t = q.try_deq(0.0)
+    assert value == 42
+    assert t == 13.0  # enq at 10 + 3 cycles of queue latency
+
+
+def test_deq_not_before_enqueue_time():
+    q = HWQueue(0, 4, latency=2)
+    q.try_enq(100.0, 1)
+    _, t = q.try_deq(5.0)
+    assert t == 102.0
+
+
+def test_slot_reuse_carries_deq_time():
+    q = HWQueue(0, capacity=1, latency=0)
+    q.try_enq(0.0, 1)
+    q.try_deq(50.0)  # slot freed at t=50
+    t = q.try_enq(10.0, 2)
+    assert t == 50.0  # cannot reuse the slot before it was freed
+
+
+def test_peek_leaves_entry():
+    q = HWQueue(0, 4, 0)
+    q.try_enq(0.0, 7)
+    assert q.try_peek(1.0)[0] == 7
+    assert q.try_peek(1.0)[0] == 7
+    assert q.try_deq(1.0)[0] == 7
+
+
+def test_counters():
+    q = HWQueue(0, 4, 0)
+    q.try_enq(0.0, 1)
+    q.try_enq(0.0, 2)
+    q.try_deq(0.0)
+    assert q.total_enqs == 2 and q.total_deqs == 1
+    assert q.occupancy == 1
+
+
+class _FakeTask:
+    def __init__(self):
+        self.woken = 0
+
+    def wake(self):
+        self.woken += 1
+
+
+def test_enq_wakes_consumers():
+    q = HWQueue(0, 4, 0)
+    t = _FakeTask()
+    q.waiting_consumers.append(t)
+    q.try_enq(0.0, 1)
+    assert t.woken == 1
+    assert q.waiting_consumers == []
+
+
+def test_deq_wakes_producers():
+    q = HWQueue(0, 1, 0)
+    q.try_enq(0.0, 1)
+    t = _FakeTask()
+    q.waiting_producers.append(t)
+    q.try_deq(0.0)
+    assert t.woken == 1
+
+
+@given(st.lists(st.integers(), max_size=50))
+def test_fifo_property(values):
+    q = HWQueue(0, capacity=64, latency=1)
+    now = 0.0
+    for v in values:
+        q.try_enq(now, v)
+        now += 1.0
+    out = []
+    while True:
+        res = q.try_deq(now)
+        if res is None:
+            break
+        out.append(res[0])
+        now += 1.0
+    assert out == values
+
+
+@given(st.integers(1, 8), st.lists(st.integers(0, 100), min_size=1, max_size=40))
+def test_occupancy_never_exceeds_capacity(capacity, script):
+    q = HWQueue(0, capacity=capacity, latency=0)
+    now = 0.0
+    for step in script:
+        now += 1.0
+        if step % 2:
+            q.try_enq(now, step)
+        else:
+            q.try_deq(now)
+        assert 0 <= q.occupancy <= capacity

@@ -1,0 +1,44 @@
+"""Executor conveniences: copy semantics, result packaging."""
+
+from repro import ir
+from repro.runtime import run_pipeline, run_serial
+
+
+def _identity_func():
+    b = ir.IRBuilder()
+    with b.for_("i", 0, "n"):
+        v = b.load("@a", "i")
+        b.store("@a", "i", b.binop("add", v, 1))
+    return ir.Function("inc", ["n"], {"a": ir.ArrayDecl("a")}, b.finish())
+
+
+def test_inputs_not_mutated_by_default(tiny_config):
+    data = [1, 2, 3]
+    result = run_serial(_identity_func(), {"a": data}, {"n": 3}, config=tiny_config)
+    assert data == [1, 2, 3]
+    assert result.arrays["a"] == [2, 3, 4]
+
+
+def test_copy_false_mutates(tiny_config):
+    data = [1, 2, 3]
+    run_serial(_identity_func(), {"a": data}, {"n": 3}, config=tiny_config, copy=False)
+    assert data == [2, 3, 4]
+
+
+def test_result_carries_stats_and_energy(tiny_config):
+    result = run_serial(_identity_func(), {"a": [0] * 10}, {"n": 10}, config=tiny_config)
+    assert result.cycles > 0
+    assert result.energy().total > 0
+    breakdown = result.breakdown()
+    assert set(breakdown) == {"issue", "backend", "queue", "other"}
+
+
+def test_stage_cores_passthrough(tiny_config):
+    from dataclasses import replace
+
+    func = _identity_func()
+    pipe = ir.serial_pipeline(func)
+    cfg = replace(tiny_config, cores=2)
+    result = run_pipeline(pipe, {"a": [0]}, {"n": 1}, config=cfg, stage_cores=[1])
+    assert result.arrays["a"] == [1]
+    assert result.active_cores == 1

@@ -1,0 +1,55 @@
+"""Tensor-expression parsing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.taco.expr import TensorRef, parse_expression
+
+
+def test_spmv_shape():
+    e = parse_expression("y(i) = A(i,j) * x(j)")
+    assert e.lhs.name == "y" and e.lhs.indices == ("i",)
+    assert len(e.terms) == 1
+    (term,) = e.terms
+    assert [r.name for r in term.refs] == ["A", "x"]
+    assert e.contraction_vars == ["j"]
+
+
+def test_signed_terms():
+    e = parse_expression("y(i) = b(i) - A(i,j) * x(j)")
+    assert [t.sign for t in e.terms] == [1, -1]
+
+
+def test_scalars_captured():
+    e = parse_expression("y(j) = alpha * A(i,j) * x(i) + beta * z(j)")
+    assert e.terms[0].scalars == ["alpha"]
+    assert e.terms[1].scalars == ["beta"]
+
+
+def test_sddmm_shape():
+    e = parse_expression("A(i,j) = B(i,j) * C(i,k) * D(k,j)")
+    assert e.lhs.order == 2
+    assert e.contraction_vars == ["k"]
+    assert len(e.terms[0].refs) == 3
+
+
+def test_index_vars_ordered():
+    e = parse_expression("y(i) = A(i,j) * x(j)")
+    assert e.index_vars == ["i", "j"]
+
+
+def test_errors():
+    with pytest.raises(ParseError):
+        parse_expression("y(i) = = A(i,j)")
+    with pytest.raises(ParseError):
+        parse_expression("3 = A(i,j)")
+    with pytest.raises(ParseError):
+        parse_expression("y(i) = alpha * beta")  # no tensor in term
+    with pytest.raises(ParseError):
+        parse_expression("y() = A(i,j)")
+
+
+def test_repr_roundtrippy():
+    e = parse_expression("y(i) = b(i) - A(i,j) * x(j)")
+    assert "A(i,j)" in repr(e)
+    assert isinstance(e.lhs, TensorRef)

@@ -1,0 +1,62 @@
+"""CLI surface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+KERNEL = """
+#pragma phloem
+void k(const int* restrict a, const int* restrict b, int* restrict out, int n) {
+  for (int i = 0; i < n; i++) {
+    int v = a[i];
+    out[i] = b[v];
+  }
+}
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "k.c"
+    path.write_text(KERNEL)
+    return str(path)
+
+
+def test_emit_summary(kernel_file, capsys):
+    assert main(["emit", kernel_file, "--format", "summary"]) == 0
+    out = capsys.readouterr().out
+    assert "stages" in out and "RAs" in out
+
+
+def test_emit_pseudo_c(kernel_file, capsys):
+    assert main(["emit", kernel_file]) == 0
+    out = capsys.readouterr().out
+    assert "setup_reference_accelerator" in out
+
+
+def test_emit_ir(kernel_file, capsys):
+    assert main(["emit", kernel_file, "--format", "ir"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline k" in out
+
+
+def test_emit_pass_subset(kernel_file, capsys):
+    assert main(["emit", kernel_file, "--passes", "recompute,cv", "--format", "summary"]) == 0
+    out = capsys.readouterr().out
+    assert "0 RAs" in out
+
+
+def test_demo_bfs(capsys):
+    assert main(["demo", "bfs", "--size", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "serial" in out and "phloem" in out
+    assert "False" not in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_figures_rejects_unknown(capsys):
+    assert main(["figures", "fig99"]) == 2

@@ -1,0 +1,25 @@
+"""The dataflow-style baseline: correct, and not faster than serial."""
+
+from repro.runtime import run_pipeline, run_serial
+from repro.workloads import bfs
+from repro.workloads.dataflow import dataflow_variant
+
+
+def test_dataflow_correct(tiny_graph, tiny_config):
+    arrays, scalars = bfs.make_env(tiny_graph)
+    pipe = dataflow_variant(bfs.function())
+    result = run_pipeline(pipe, arrays, scalars, config=tiny_config)
+    assert bfs.check(result.arrays, tiny_graph)
+
+
+def test_dataflow_not_faster_than_serial(tiny_graph, tiny_config):
+    arrays, scalars = bfs.make_env(tiny_graph)
+    serial = run_serial(bfs.function(), arrays, scalars, config=tiny_config)
+    df = run_pipeline(dataflow_variant(bfs.function()), arrays, scalars, config=tiny_config)
+    assert df.cycles >= serial.cycles * 0.95  # at best break-even
+
+
+def test_dataflow_meta_flag():
+    pipe = dataflow_variant(bfs.function())
+    assert pipe.meta["dataflow"]
+    assert pipe.name.endswith("_dataflow")

@@ -1,0 +1,67 @@
+"""Graph substrate: CSR validity and generator statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.graphs import CSRGraph, mesh3d, power_law, road_network, uniform_random
+
+
+def _validate(graph):
+    assert graph.nodes[0] == 0
+    assert graph.nodes[-1] == graph.m
+    assert all(a <= b for a, b in zip(graph.nodes, graph.nodes[1:]))
+    assert all(0 <= w < graph.n for w in graph.edges)
+
+
+def test_from_adjacency():
+    g = CSRGraph.from_adjacency([[1, 2], [2], []])
+    assert g.n == 3 and g.m == 3
+    assert g.neighbors(0) == [1, 2]
+    assert g.degree(2) == 0
+
+
+def test_bad_nodes_rejected():
+    with pytest.raises(ValueError):
+        CSRGraph(3, [0, 1], [0])
+
+
+def test_road_network_stats():
+    g = road_network(20, 15, seed=1)
+    _validate(g)
+    assert g.n == 300
+    assert 1.5 < g.avg_degree < 4.0  # near-planar, Table IV road class
+
+
+def test_power_law_heavy_tail():
+    g = power_law(600, 5, seed=2)
+    _validate(g)
+    degrees = sorted((g.degree(v) for v in range(g.n)), reverse=True)
+    assert degrees[0] > 4 * g.avg_degree  # hubs exist
+
+
+def test_mesh3d_uniform_degree():
+    g = mesh3d(6)
+    _validate(g)
+    assert g.n == 216
+    inner = [g.degree(v) for v in range(g.n) if g.degree(v) == 6]
+    assert len(inner) > 0
+    assert max(g.degree(v) for v in range(g.n)) == 6
+
+
+def test_uniform_random_degree():
+    g = uniform_random(100, 7, seed=3)
+    _validate(g)
+    assert all(g.degree(v) == 7 for v in range(g.n))
+
+
+def test_generators_deterministic():
+    a = power_law(200, 4, seed=9)
+    b = power_law(200, 4, seed=9)
+    assert a.edges == b.edges and a.nodes == b.nodes
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 60), st.integers(1, 6), st.integers(0, 5))
+def test_uniform_random_always_valid(n, degree, seed):
+    _validate(uniform_random(n, degree, seed=seed))

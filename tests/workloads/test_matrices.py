@@ -1,0 +1,66 @@
+"""Sparse matrix substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.matrices import random_matrix
+
+
+def _validate(m):
+    assert m.pos[0] == 0 and m.pos[-1] == m.nnz
+    assert all(a <= b for a, b in zip(m.pos, m.pos[1:]))
+    for i in range(m.nrows):
+        row = m.crd[m.pos[i] : m.pos[i + 1]]
+        assert row == sorted(row)  # coordinates sorted (SpMM merge needs this)
+        assert len(set(row)) == len(row)  # no duplicates
+        assert all(0 <= c < m.ncols for c in row)
+
+
+def test_uniform_pattern():
+    m = random_matrix(100, 8, seed=1)
+    _validate(m)
+    assert 5 <= m.avg_nnz_per_row <= 11
+
+
+def test_banded_pattern_stays_near_diagonal():
+    m = random_matrix(200, 6, seed=2, pattern="banded")
+    _validate(m)
+    for i in range(m.nrows):
+        for c in m.crd[m.pos[i] : m.pos[i + 1]]:
+            assert abs(c - i) <= 6 * 6 + 1
+
+
+def test_powerlaw_rows_vary():
+    m = random_matrix(300, 8, seed=3, pattern="powerlaw")
+    _validate(m)
+    lengths = [m.pos[i + 1] - m.pos[i] for i in range(m.nrows)]
+    assert max(lengths) > 3 * (sum(lengths) / len(lengths))
+
+
+def test_transpose_roundtrip():
+    m = random_matrix(40, 5, seed=4)
+    tt = m.transpose().transpose()
+    assert tt.pos == m.pos and tt.crd == m.crd and tt.val == m.val
+
+
+def test_transpose_is_transpose():
+    m = random_matrix(20, 3, seed=5)
+    t = m.transpose()
+    dense = m.to_dense_rows()
+    dense_t = t.to_dense_rows()
+    for i in range(m.nrows):
+        for j in range(m.ncols):
+            assert dense[i][j] == dense_t[j][i]
+
+
+def test_rectangular():
+    m = random_matrix(30, 4, seed=6, ncols=50)
+    _validate(m)
+    assert m.ncols == 50
+    assert m.transpose().nrows == 50
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 40), st.integers(1, 8), st.integers(0, 3))
+def test_random_matrix_always_valid(n, nnz, seed):
+    _validate(random_matrix(n, nnz, seed=seed))

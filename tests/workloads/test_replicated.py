@@ -1,0 +1,84 @@
+"""Replicated pipelines: distribution, counting handlers, correctness."""
+
+import pytest
+
+from repro.pipette.config import CacheConfig, MachineConfig
+from repro.runtime import run_replicated
+from repro.workloads import bfs, cc, prd, radii, replicated
+
+
+@pytest.fixture(scope="module")
+def repl_config():
+    return MachineConfig(
+        cores=2,
+        l1=CacheConfig(4 * 1024, 4, 4),
+        l2=CacheConfig(16 * 1024, 8, 12),
+        l3_per_core=CacheConfig(64 * 1024, 16, 40),
+    )
+
+
+def _run(app, graph, replicas, config, builder=None):
+    builder = builder or replicated.BUILDERS[app]
+    pipelines = [builder(rid, replicas) for rid in range(replicas)]
+    envs = replicated.make_envs(app, graph, replicas)
+    return run_replicated(
+        [(pipelines[r], envs[r][0], envs[r][1], r % config.cores) for r in range(replicas)],
+        config,
+    )
+
+
+def test_owner_of_covers_range():
+    chunk = 10
+    assert replicated.owner_of(0, chunk, 4) == 0
+    assert replicated.owner_of(39, chunk, 4) == 3
+    assert replicated.owner_of(999, chunk, 4) == 3  # clamped
+
+
+def test_bfs_replicated(micro_graph, repl_config):
+    result = _run("bfs", micro_graph, 2, repl_config)
+    assert result.arrays["distances"] == bfs.reference(micro_graph)
+
+
+def test_cc_replicated(micro_graph, repl_config):
+    result = _run("cc", micro_graph, 2, repl_config)
+    assert result.arrays["labels"] == cc.reference(micro_graph)
+
+
+def test_radii_replicated(micro_graph, repl_config):
+    result = _run("radii", micro_graph, 2, repl_config)
+    assert result.arrays["radii_arr"] == radii.reference(micro_graph)
+
+
+def test_prd_replicated(micro_graph, repl_config):
+    result = _run("prd", micro_graph, 2, repl_config)
+    expected = prd.reference(micro_graph)
+    got = result.arrays["rank"]
+    assert all(abs(a - b) <= 1e-9 * max(1, abs(b)) for a, b in zip(got, expected))
+
+
+def test_bfs_nodist_correct_but_unbalanced(micro_graph, repl_config):
+    result = _run("bfs", micro_graph, 2, repl_config, builder=replicated.bfs_replicated_nodist)
+    assert result.arrays["distances"] == bfs.reference(micro_graph)
+
+
+def test_four_replicas(micro_graph, repl_config):
+    from dataclasses import replace
+
+    config = replace(repl_config, cores=4)
+    result = _run("bfs", micro_graph, 4, config)
+    assert result.arrays["distances"] == bfs.reference(micro_graph)
+
+
+def test_make_envs_partitions_initial_fringe(micro_graph):
+    envs = replicated.make_envs("cc", micro_graph, 3)
+    total = sum(scalars["fringe_size_init"] for _, scalars in envs)
+    assert total == micro_graph.n
+    assert all(scalars["total_init"] == micro_graph.n for _, scalars in envs)
+    # Global arrays are shared by identity.
+    assert envs[0][0]["labels"] is envs[1][0]["labels"]
+    assert envs[0][0]["fringe0"] is not envs[1][0]["fringe0"]
+
+
+def test_shared_arrays_shared_after_run(micro_graph, repl_config):
+    result = _run("bfs", micro_graph, 2, repl_config)
+    assert result.replica_arrays[0]["distances"] is result.replica_arrays[1]["distances"]
