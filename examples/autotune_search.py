@@ -27,7 +27,7 @@ def main():
     print("\nprofiled %d candidate pipelines:" % len(results))
     print("%8s  %6s  %s" % ("points", "units", "training gmean speedup"))
     for result in sorted(results, key=lambda r: (r.num_units, -r.speedup)):
-        marker = "  <-- selected" if result is best else ""
+        marker = "  <-- selected" if result.indices == best.indices else ""
         print(
             "%8s  %6d  %5.2fx%s"
             % (str(list(result.indices)), result.num_units, result.speedup, marker)

@@ -10,17 +10,19 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.taco` -- mini tensor-algebra compiler emitting mini-C
 * :mod:`repro.workloads` -- benchmarks and synthetic inputs
 * :mod:`repro.bench` -- the per-figure evaluation harness
+* :mod:`repro.cache` -- compiled-pipeline / serial-baseline memo layers
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from .core import ALL_PASSES, compile_c, compile_function, replicate_pipeline
+from .core import ALL_PASSES, CompileOptions, compile_c, compile_function, replicate_pipeline
 from .frontend import compile_source
 from .pipette import PIPETTE_1CORE, PIPETTE_4CORE, SCALED_1CORE, SCALED_4CORE, MachineConfig
 from .runtime import describe_run, run_pipeline, run_replicated, run_serial
 
 __all__ = [
     "ALL_PASSES",
+    "CompileOptions",
     "compile_c",
     "compile_function",
     "replicate_pipeline",

@@ -11,11 +11,12 @@ iteration sampling for the same reason); Taco benchmarks use the static
 compilation flow.
 """
 
+from .. import cache
 from ..core.autotune import gmean, speedup_distribution
-from ..core.compiler import ALL_PASSES, compile_function, pipeline_summary
+from ..core.compiler import ALL_PASSES, CompileOptions, pipeline_summary
 from ..frontend.lowering import compile_source
 from ..pipette.config import SCALED_1CORE
-from ..runtime.executor import run_pipeline, run_serial
+from ..runtime.executor import run_pipeline
 from ..taco import kernels as taco_kernels
 from ..taco.parallel import stripe_data_parallel
 from ..workloads import bfs, cc, datasets, graphs, prd, radii, replicated, spmm
@@ -26,14 +27,14 @@ from . import report
 from .harness import (
     DP_THREADS,
     QUICK,
-    GraphBenchAdapter,
-    SpmmBenchAdapter,
+    BenchAdapter,
     gmean_speedup,
     normalized_breakdowns,
     normalized_energy,
     profile_guided_pipeline,
     run_suite,
 )
+from .parallel import Job, run_jobs
 
 #: Per-benchmark test inputs (PRD/Radii use the low-diameter subset).
 _GRAPH_INPUT_NAMES = {
@@ -78,7 +79,7 @@ def fig6_pass_ablation(config=SCALED_1CORE, input_name="freescale"):
     graph = datasets.graph_by_name(input_name).build()
     arrays, scalars = bfs.make_env(graph)
     function = bfs.function()
-    serial = run_serial(function, arrays, scalars, config=config)
+    serial = cache.cached_serial_run(function, arrays, scalars, config)
     assert bfs.check(serial.arrays, graph)
 
     speedups = {}
@@ -88,7 +89,7 @@ def fig6_pass_ablation(config=SCALED_1CORE, input_name="freescale"):
         elif passes is None:
             pipeline = dataflow_variant(function)
         else:
-            pipeline = compile_function(function, num_stages=4, passes=passes)
+            pipeline = cache.cached_compile(function, CompileOptions(num_stages=4, passes=passes))
         result = run_pipeline(pipeline, arrays, scalars, config=config)
         if not bfs.check(result.arrays, graph):
             raise AssertionError("fig6 variant %r produced wrong distances" % label)
@@ -108,19 +109,26 @@ def fig6_pass_ablation(config=SCALED_1CORE, input_name="freescale"):
 _SUITES = {}
 
 
-def ensure_suites(config=SCALED_1CORE):
-    """Run the Fig. 9 suite for all five benchmarks (cached)."""
+def ensure_suites(config=SCALED_1CORE, jobs=None):
+    """Run the Fig. 9 suite for all five benchmarks (cached).
+
+    The five suites are independent: with ``jobs`` > 1 they fan out over
+    the worker pool (one job per benchmark), which is where the figures
+    CLI gets its cross-benchmark parallelism.
+    """
     if _SUITES:
         return _SUITES
-    for name, module in (("bfs", bfs), ("cc", cc), ("prd", prd), ("radii", radii)):
-        adapter = GraphBenchAdapter(module)
-        _SUITES[name] = run_suite(
-            adapter, _inputs_for(name), datasets.TRAIN_GRAPHS, config=config
-        )
-    adapter = SpmmBenchAdapter(spmm)
-    _SUITES["spmm"] = run_suite(
-        adapter, _spmm_inputs(), datasets.TRAIN_MATRICES_SPMM, config=config
-    )
+    specs = [
+        (name, BenchAdapter(module), _inputs_for(name), datasets.TRAIN_GRAPHS)
+        for name, module in (("bfs", bfs), ("cc", cc), ("prd", prd), ("radii", radii))
+    ]
+    specs.append(("spmm", BenchAdapter(spmm), _spmm_inputs(), datasets.TRAIN_MATRICES_SPMM))
+    job_list = [
+        Job("suite:%s" % name, run_suite, adapter, tests, train, config)
+        for name, adapter, tests, train in specs
+    ]
+    for spec, result in zip(specs, run_jobs(job_list, workers=jobs)):
+        _SUITES[spec[0]] = result.value
     return _SUITES
 
 
@@ -224,14 +232,14 @@ def fig12_taco(config=SCALED_1CORE):
     table = {}
     for kname, kernel, data_builder, atomic_arrays in specs:
         function = compile_source(kernel.source)
-        pipeline = compile_function(function, num_stages=4, passes=ALL_PASSES)
+        pipeline = cache.cached_compile(function, CompileOptions(num_stages=4, passes=ALL_PASSES))
         dp = stripe_data_parallel(function, DP_THREADS, atomic_arrays=atomic_arrays)
         serial_speeds, dp_speeds, phloem_speeds = [], [], []
         for mat_name, matrix in _taco_cases():
             if kname == "sddmm" and matrix.nrows > 2500:
                 continue  # the dense k-loop makes big inputs slow to simulate
             arrays, scalars = kernel.bind(data_builder(matrix))
-            serial = run_serial(function, arrays, scalars, config=config)
+            serial = cache.cached_serial_run(function, arrays, scalars, config)
             presult = run_pipeline(pipeline, arrays, scalars, config=config)
             dp_scalars = dict(scalars)
             dp_scalars["nthreads"] = DP_THREADS
@@ -239,8 +247,8 @@ def fig12_taco(config=SCALED_1CORE):
             serial_speeds.append(1.0)
             phloem_speeds.append(serial.cycles / presult.cycles)
             dp_speeds.append(serial.cycles / dresult.cycles)
-        from ..core.autotune import gmean
-
+        if not serial_speeds:
+            continue  # every input filtered out (QUICK + the sddmm guard)
         table[kname] = {
             "serial": 1.0,
             "data-parallel": gmean(dp_speeds),
@@ -275,7 +283,7 @@ def fig13_stage_distribution(config=SCALED_1CORE):
         m = item.build()
         arrays, scalars = kernel.bind({"A": m, "x": taco_kernels.dense_input(m.ncols, 1)})
         envs[item.name] = (arrays, scalars)
-        baselines[item.name] = run_serial(function, arrays, scalars, config=config).cycles
+        baselines[item.name] = cache.cached_serial_run(function, arrays, scalars, config).cycles
 
     from ..core.autotune import gmean, search_pipelines
 
@@ -329,7 +337,7 @@ def fig14_replication(config=SCALED_4CORE, replicas=4):
         graph = _fig14_graph(app)
         arrays, scalars = module.make_env(graph)
         function = module.function()
-        serial = run_serial(function, arrays, scalars, config=config)
+        serial = cache.cached_serial_run(function, arrays, scalars, config)
         if not _fig14_check(app, module, serial.arrays, graph, "serial"):
             raise AssertionError("fig14 %s serial failed validation" % app)
         entry = {"serial": 1.0}
@@ -349,7 +357,9 @@ def fig14_replication(config=SCALED_4CORE, replicas=4):
             # replicate+distribute transform on the compiled pipeline.
             from ..core.replicate import replicate_pipeline
 
-            compiled = compile_function(module.function(), num_stages=4, passes=ALL_PASSES)
+            compiled = cache.cached_compile(
+                module.function(), CompileOptions(num_stages=4, passes=ALL_PASSES)
+            )
             clones = replicate_pipeline(compiled, replicas)
             cases = [("phloem", lambda rid, _r: clones[rid])]
         else:
@@ -396,21 +406,21 @@ def ablation_design_choices(config=SCALED_1CORE):
     graph = datasets.graph_by_name("freescale" if not QUICK else "coauthors").build()
     arrays, scalars = bfs.make_env(graph)
     function = bfs.function()
-    serial = run_serial(function, arrays, scalars, config=config)
+    serial = cache.cached_serial_run(function, arrays, scalars, config)
 
     table = {}
 
     depth_row = {}
     for depth in (2, 4, 8, 24, 64):
-        pipeline = compile_function(
-            function, num_stages=4, passes=ALL_PASSES, queue_capacity=depth
+        pipeline = cache.cached_compile(
+            function, CompileOptions(num_stages=4, passes=ALL_PASSES, queue_capacity=depth)
         )
         result = run_pipeline(pipeline, arrays, scalars, config=config)
         assert bfs.check(result.arrays, graph)
         depth_row["depth=%d" % depth] = serial.cycles / result.cycles
     table["queue depth"] = depth_row
 
-    pipeline = compile_function(function, num_stages=4, passes=ALL_PASSES)
+    pipeline = cache.cached_compile(function, CompileOptions(num_stages=4, passes=ALL_PASSES))
     mshr_row = {}
     for mshrs in (1, 4, 16, 32):
         cfg = replace(config, ra_mshrs=mshrs)
@@ -421,7 +431,7 @@ def ablation_design_choices(config=SCALED_1CORE):
     pf_row = {}
     for enabled in (False, True):
         cfg = replace(config, prefetch_enabled=enabled)
-        base = run_serial(function, arrays, scalars, config=cfg)
+        base = cache.cached_serial_run(function, arrays, scalars, cfg)
         result = run_pipeline(pipeline, arrays, scalars, config=cfg)
         pf_row["prefetch=%s" % enabled] = base.cycles / result.cycles
     table["stride prefetcher"] = pf_row

@@ -1,19 +1,27 @@
 """Benchmark harness: runs paper-style comparisons and aggregates results.
 
-Wraps each benchmark module behind a uniform adapter (inputs in, arrays +
+Wraps each benchmark module behind one uniform adapter (inputs in, arrays +
 oracle check out), runs the variants the paper compares — Serial,
 Data-parallel, Phloem (profile-guided and static), Manually pipelined —
 and aggregates per-input speedups with geometric means, as every figure in
 Sec. VII does.
+
+The harness leans on :mod:`repro.cache` (compiled pipelines, serial
+baselines, and search scores are memoized across calls and process
+restarts) and on :mod:`repro.bench.parallel` (``run_suite`` fans its
+per-input work out over a worker pool; results are bit-identical to the
+serial path).
 """
 
 import os
 
-from ..core.autotune import gmean, search_pipelines
-from ..core.compiler import ALL_PASSES, compile_function
+from .. import cache
+from ..core.autotune import SearchPoint, gmean, search_pipelines
+from ..core.compiler import ALL_PASSES, CompileOptions
 from ..errors import PhloemError
 from ..pipette.config import SCALED_1CORE
-from ..runtime.executor import run_pipeline, run_serial
+from ..runtime.executor import run_pipeline
+from .parallel import Job, run_jobs
 
 #: Environment switch: REPRO_QUICK=1 shrinks the evaluation (fewer inputs).
 QUICK = bool(os.environ.get("REPRO_QUICK"))
@@ -45,65 +53,65 @@ class VariantRun:
         )
 
 
-class GraphBenchAdapter:
-    """Adapter for the fringe-based graph benchmarks (BFS/CC/PRD/Radii)."""
+class BenchAdapter:
+    """The uniform adapter over every benchmark module (graph or matrix).
+
+    A benchmark module provides ``NAME``, ``function()``, ``make_env``,
+    ``data_parallel``/``make_env_dp``, ``manual_pipeline``, and ``check``;
+    a module whose data-parallel variant needs a looser oracle (PRD's
+    float reductions reassociate) additionally provides ``check_dp``.
+    That tolerance lives in the benchmark module, not here: the adapter is
+    pure plumbing and is identical for all five benchmarks.
+    """
 
     def __init__(self, module):
         self.module = module
         self.name = module.NAME
 
     def function(self):
+        """The serial kernel the compiler transforms."""
         return self.module.function()
 
-    def env(self, graph):
-        return self.module.make_env(graph)
+    def env(self, data):
+        """``(arrays, scalars)`` environment for one built input."""
+        return self.module.make_env(data)
 
     def dp_pipeline(self, nthreads):
+        """The hand-written data-parallel baseline pipeline."""
         return self.module.data_parallel(nthreads)
 
-    def dp_env(self, graph, nthreads):
-        return self.module.make_env_dp(graph, nthreads)
+    def dp_env(self, data, nthreads):
+        """Environment for the data-parallel baseline."""
+        return self.module.make_env_dp(data, nthreads)
 
     def manual(self):
+        """The hand-tuned manually pipelined variant."""
         return self.module.manual_pipeline()
 
-    def check(self, arrays, graph):
-        if self.name == "prd":
-            return self.module.check(arrays, graph, exact=True)
-        return self.module.check(arrays, graph)
+    def check(self, arrays, data):
+        """Exact output validation against the benchmark's oracle."""
+        return self.module.check(arrays, data)
 
-    def check_dp(self, arrays, graph):
-        if self.name == "prd":
-            return self.module.check(arrays, graph, exact=False, tol=1e-6)
-        return self.module.check(arrays, graph)
+    def check_dp(self, arrays, data):
+        """Validation for data-parallel outputs (module may loosen it)."""
+        check = getattr(self.module, "check_dp", None)
+        if check is not None:
+            return check(arrays, data)
+        return self.module.check(arrays, data)
 
 
-class SpmmBenchAdapter:
-    """Adapter for SpMM (matrix inputs)."""
+#: Back-compat aliases: the graph/SpMM adapters were merged into one.
+GraphBenchAdapter = BenchAdapter
+SpmmBenchAdapter = BenchAdapter
 
-    def __init__(self, module):
-        self.module = module
-        self.name = module.NAME
 
-    def function(self):
-        return self.module.function()
+def adapter_for(bench):
+    """Adapter for a benchmark name (bfs/cc/prd/radii/spmm) or module."""
+    if isinstance(bench, str):
+        from ..workloads import ALL_BENCHMARKS
 
-    def env(self, matrix):
-        return self.module.make_env(matrix)
-
-    def dp_pipeline(self, nthreads):
-        return self.module.data_parallel(nthreads)
-
-    def dp_env(self, matrix, nthreads):
-        return self.module.make_env_dp(matrix, nthreads)
-
-    def manual(self):
-        return self.module.manual_pipeline()
-
-    def check(self, arrays, matrix):
-        return self.module.check(arrays, matrix)
-
-    check_dp = check
+        return BenchAdapter(ALL_BENCHMARKS[bench])
+    return BenchAdapter(bench)
 
 
 def _record(variant, input_name, result, ok):
@@ -117,49 +125,113 @@ def _record(variant, input_name, result, ok):
     )
 
 
-def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stages=4, top_k=5, limit=40):
+def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stages=4, top_k=5, limit=40, passes=ALL_PASSES):
     """Run the paper's profile-guided search; returns (best, all results).
 
     The evaluator scores each candidate by gmean speedup over serial on the
-    training inputs, mirroring Sec. VI-C.
+    training inputs, mirroring Sec. VI-C. Scores are memoized in the search
+    cache (training simulations dominate suite wall-clock), and ``results``
+    are pipeline-free :class:`SearchPoint` summaries — small enough to ship
+    across process boundaries and to pickle to disk; ``best`` carries a
+    real pipeline, recompiled through the pipeline cache on warm hits.
     """
     function = adapter.function()
     baselines = {}
     envs = {}
+    env_prints = []
     for item in train_inputs:
         arrays, scalars = adapter.env(item.build())
         envs[item.name] = (arrays, scalars)
-        baselines[item.name] = run_serial(function, arrays, scalars, config=config).cycles
+        env_prints.append(cache.fingerprint_env(arrays, scalars))
 
-    def evaluate(pipeline):
-        speeds = []
+    key_parts = (
+        cache.fingerprint(function),
+        sorted(env_prints),
+        cache.fingerprint_config(config),
+        {"max_stages": max_stages, "top_k": top_k, "limit": limit, "passes": list(passes)},
+    )
+
+    def compute():
         for item in train_inputs:
             arrays, scalars = envs[item.name]
-            result = run_pipeline(pipeline, arrays, scalars, config=config)
-            speeds.append(baselines[item.name] / result.cycles)
-        return gmean(speeds)
+            baselines[item.name] = cache.cached_serial_run(
+                function, arrays, scalars, config
+            ).cycles
 
-    return search_pipelines(function, evaluate, max_stages=max_stages, top_k=top_k, limit=limit)
+        def evaluate(pipeline):
+            speeds = []
+            for item in train_inputs:
+                arrays, scalars = envs[item.name]
+                result = run_pipeline(pipeline, arrays, scalars, config=config)
+                speeds.append(baselines[item.name] / result.cycles)
+            return gmean(speeds)
+
+        best, results = search_pipelines(
+            function, evaluate, max_stages=max_stages, top_k=top_k, limit=limit, passes=passes
+        )
+        return {
+            "points": [(list(r.indices), r.num_units, r.speedup) for r in results],
+            "best": None if best is None else list(best.indices),
+        }
+
+    payload = cache.cached_search(key_parts, compute)
+    results = [
+        SearchPoint(tuple(indices), units, speedup)
+        for indices, units, speedup in payload["points"]
+    ]
+    best = None
+    if payload["best"] is not None:
+        indices = tuple(payload["best"])
+        options = CompileOptions(
+            num_stages=len(indices) + 1, passes=passes, point_indices=indices
+        )
+        pipeline = cache.cached_compile(function, options)
+        speedup = next(r.speedup for r in results if r.indices == indices)
+        best = SearchPoint(indices, pipeline.num_units, speedup, pipeline=pipeline)
+    return best, results
 
 
-def run_suite(adapter, test_inputs, train_inputs, config=SCALED_1CORE, variants=None, num_stages=4):
+def run_suite(
+    adapter,
+    test_inputs,
+    train_inputs,
+    config=SCALED_1CORE,
+    variants=None,
+    num_stages=None,
+    options=None,
+    jobs=None,
+):
     """Run all requested variants on all test inputs.
 
+    ``options`` is a :class:`~repro.core.compiler.CompileOptions` shaping
+    the Phloem compilations (``num_stages`` is the legacy shim for its
+    stage count). ``jobs`` fans the per-input work out over a worker pool
+    (default: the ``REPRO_JOBS`` environment variable); parallel runs
+    produce cycle-identical results to serial ones.
+
     Returns ``{variant: [VariantRun, ...]}`` plus the search results under
-    the key ``"_search"`` when the profile-guided variant ran.
+    the key ``"_search"`` when the profile-guided variant ran, and pipeline
+    summaries under ``"_meta"``.
     """
     variants = variants or ("serial", "data-parallel", "phloem", "phloem-static", "manual")
+    options = (options or CompileOptions()).merge(num_stages=num_stages)
     function = adapter.function()
     out = {v: [] for v in variants}
 
     static_pipeline = None
     if "phloem-static" in variants or "phloem" in variants:
-        static_pipeline = compile_function(function, num_stages=num_stages, passes=ALL_PASSES)
+        static_pipeline = cache.cached_compile(function, options)
 
     best = None
     if "phloem" in variants:
         try:
-            best, results = profile_guided_pipeline(adapter, train_inputs, config=config, max_stages=num_stages)
+            best, results = profile_guided_pipeline(
+                adapter,
+                train_inputs,
+                config=config,
+                max_stages=options.num_stages,
+                passes=options.passes,
+            )
             out["_search"] = results
         except PhloemError:
             best = None
@@ -168,30 +240,50 @@ def run_suite(adapter, test_inputs, train_inputs, config=SCALED_1CORE, variants=
     manual_pipeline = adapter.manual() if "manual" in variants else None
     dp_pipeline = adapter.dp_pipeline(DP_THREADS) if "data-parallel" in variants else None
 
-    for item in test_inputs:
+    def run_input(item):
         data = item.build()
         arrays, scalars = adapter.env(data)
-        serial_result = run_serial(function, arrays, scalars, config=config)
+        serial_result = cache.cached_serial_run(function, arrays, scalars, config)
         serial_ok = adapter.check(serial_result.arrays, data)
+        records = []
         if "serial" in variants:
-            out["serial"].append(_record("serial", item.name, serial_result, serial_ok))
+            record = _record("serial", item.name, serial_result, serial_ok)
+            record.meta["speedup"] = 1.0
+            records.append(record)
 
         if "data-parallel" in variants:
             dp_arrays, dp_scalars = adapter.dp_env(data, DP_THREADS)
             result = run_pipeline(dp_pipeline, dp_arrays, dp_scalars, config=config)
-            run = _record("data-parallel", item.name, result, adapter.check_dp(result.arrays, data))
-            run.meta["speedup"] = serial_result.cycles / result.cycles
-            out["data-parallel"].append(run)
+            record = _record("data-parallel", item.name, result, adapter.check_dp(result.arrays, data))
+            record.meta["speedup"] = serial_result.cycles / result.cycles
+            records.append(record)
 
         for variant, pipeline in (("phloem", pgo_pipeline), ("phloem-static", static_pipeline), ("manual", manual_pipeline)):
             if variant not in variants or pipeline is None:
                 continue
             result = run_pipeline(pipeline, arrays, scalars, config=config)
-            run = _record(variant, item.name, result, adapter.check(result.arrays, data))
-            run.meta["speedup"] = serial_result.cycles / result.cycles
-            out[variant].append(run)
-        if "serial" in variants:
-            out["serial"][-1].meta["speedup"] = 1.0
+            record = _record(variant, item.name, result, adapter.check(result.arrays, data))
+            record.meta["speedup"] = serial_result.cycles / result.cycles
+            records.append(record)
+        return records
+
+    job_list = [
+        Job("%s/%s" % (adapter.name, item.name), run_input, item) for item in test_inputs
+    ]
+    for job_result in run_jobs(job_list, workers=jobs):
+        for record in job_result.value:
+            out[record.variant].append(record)
+
+    out["_meta"] = {
+        variant: pipeline
+        for variant, pipeline in (
+            ("phloem", pgo_pipeline),
+            ("phloem-static", static_pipeline),
+            ("manual", manual_pipeline),
+            ("data-parallel", dp_pipeline),
+        )
+        if pipeline is not None
+    }
     return out
 
 

@@ -54,6 +54,48 @@ def render_stacked(title, per_benchmark, components):
     return render_table(title, headers, rows)
 
 
+def render_cache_stats(stats, directory=None):
+    """One line per memo layer: hits/lookups and the resulting hit rate.
+
+    ``stats`` is :func:`repro.cache.stats` output. A cold run prints all
+    zeros; comparing it against a warm run's line is the cache's
+    effectiveness report.
+    """
+    parts = []
+    for layer in sorted(stats):
+        hits = stats[layer]["hits"]
+        total = hits + stats[layer]["misses"]
+        rate = (100.0 * hits / total) if total else 0.0
+        parts.append("%s %d/%d (%.0f%%)" % (layer, hits, total, rate))
+    line = "cache: " + ", ".join(parts)
+    if directory:
+        line += "  [dir: %s]" % directory
+    return line
+
+
+def render_job_times(job_results, workers=1, total_wall=None):
+    """Per-job wall-time summary for a parallel harness run.
+
+    ``job_results`` are :class:`repro.bench.parallel.JobResult` s; the
+    busy total exceeding the elapsed wall is the parallel speedup made
+    visible.
+    """
+    lines = []
+    busy = sum(r.wall for r in job_results)
+    header = "jobs: %d over %d worker%s, %.1fs busy" % (
+        len(job_results),
+        workers,
+        "" if workers == 1 else "s",
+        busy,
+    )
+    if total_wall is not None:
+        header += ", %.1fs elapsed" % total_wall
+    lines.append(header)
+    for result in sorted(job_results, key=lambda r: -r.wall):
+        lines.append("  %-28s %7.2fs" % (result.key, result.wall))
+    return "\n".join(lines)
+
+
 def render_distribution(title, per_benchmark):
     """``{benchmark: {units: [speedups]}}`` -> Fig. 13-style summary rows."""
     headers = ["benchmark", "stages+RAs", "count", "min", "median", "max"]

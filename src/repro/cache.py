@@ -1,0 +1,305 @@
+"""Content-addressed memo layers for the evaluation harness.
+
+Regenerating the paper's figures repeats two kinds of work across figures
+and across invocations: compiling the same ``(function, options)`` pipeline
+and simulating the same ``(function, input, config)`` serial baseline. This
+module memoizes both (plus the profile-guided search's scores) behind
+stable content hashes:
+
+* **pipeline** — compiled pipelines keyed by the canonical IR fingerprint
+  (:func:`repro.ir.fingerprint`) plus ``CompileOptions.cache_key()``;
+* **baseline** — serial-run results (cycles, output arrays, cycle/energy
+  breakdowns) keyed by function + input contents + machine config;
+* **search** — profile-guided search scores keyed by function, training
+  inputs, config, and search parameters.
+
+Each layer has an in-process dict in front of a shared on-disk pickle store
+(``REPRO_CACHE_DIR``, default ``~/.cache/phloem-repro``), so warm results
+survive process restarts and are shared by every worker of the parallel
+harness (:mod:`repro.bench.parallel`). ``REPRO_NO_CACHE=1`` disables the
+disk layer. Keys are salted with the package version: upgrading the
+compiler invalidates every cached artifact.
+
+Cached values are treated as immutable: :func:`cached_compile` returns a
+fresh clone per call, and :class:`BaselineResult` arrays must not be
+mutated by callers (the harness only reads them for output validation).
+"""
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, is_dataclass
+
+from .core.compiler import compile_function
+from .ir.serialize import fingerprint
+from .runtime.executor import run_serial
+
+#: Memo layers, in the order stats are reported.
+LAYERS = ("pipeline", "baseline", "search")
+
+_memory = {layer: {} for layer in LAYERS}
+_stats = {layer: {"hits": 0, "misses": 0} for layer in LAYERS}
+
+
+# ---------------------------------------------------------------------------
+# Key construction
+
+
+def _canon(value):
+    """Canonical text of a plain-data value (dicts sorted, type-tagged)."""
+    if isinstance(value, dict):
+        return "{" + ",".join("%s=%s" % (k, _canon(value[k])) for k in sorted(value)) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canon(v) for v in value) + "]"
+    if isinstance(value, bool):
+        return "b:%d" % value
+    if isinstance(value, int):
+        return "i:%d" % value
+    if isinstance(value, float):
+        return "f:%s" % repr(value)
+    if value is None:
+        return "none"
+    return "s:%s" % value
+
+
+def content_hash(*parts):
+    """SHA-256 over the canonical forms of ``parts`` (the cache key)."""
+    from . import __version__
+
+    h = hashlib.sha256()
+    h.update(("v:%s" % __version__).encode("utf-8"))
+    for part in parts:
+        h.update(b"\x00")
+        h.update(_canon(part).encode("utf-8"))
+    return h.hexdigest()
+
+
+def fingerprint_env(arrays, scalars):
+    """Content hash of one benchmark environment (arrays + scalars)."""
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        h.update(("a:%s=" % name).encode("utf-8"))
+        h.update(_canon(list(arrays[name])).encode("utf-8"))
+    for name in sorted(scalars):
+        h.update(("s:%s=%s" % (name, _canon(scalars[name]))).encode("utf-8"))
+    return h.hexdigest()
+
+
+def fingerprint_config(config):
+    """Content hash of a :class:`~repro.pipette.config.MachineConfig`."""
+    data = asdict(config) if is_dataclass(config) else vars(config)
+    return content_hash("config", data)
+
+
+# ---------------------------------------------------------------------------
+# Storage: per-process memory in front of a shared pickle directory
+
+
+def cache_dir():
+    """The on-disk cache directory, or ``None`` when disk caching is off."""
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    path = os.environ.get("REPRO_CACHE_DIR")
+    if not path:
+        path = os.path.join(os.path.expanduser("~"), ".cache", "phloem-repro")
+    return path
+
+
+def _disk_path(layer, key):
+    base = cache_dir()
+    if base is None:
+        return None
+    return os.path.join(base, layer, key + ".pkl")
+
+
+def _load(layer, key):
+    if key in _memory[layer]:
+        _stats[layer]["hits"] += 1
+        return _memory[layer][key]
+    path = _disk_path(layer, key)
+    if path is not None and os.path.exists(path):
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            value = None  # truncated or stale entry: treat as a miss
+        if value is not None:
+            _memory[layer][key] = value
+            _stats[layer]["hits"] += 1
+            return value
+    _stats[layer]["misses"] += 1
+    return None
+
+
+def _store(layer, key, value):
+    _memory[layer][key] = value
+    path = _disk_path(layer, key)
+    if path is None:
+        return
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        # Write-then-rename so concurrent harness workers never observe a
+        # partially written pickle.
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # disk cache is best-effort; memory layer already holds it
+
+
+def reset(memory=True, stats=True):
+    """Clear the in-process memo layers and/or hit counters (tests)."""
+    if memory:
+        for layer in LAYERS:
+            _memory[layer].clear()
+    if stats:
+        for layer in LAYERS:
+            _stats[layer]["hits"] = 0
+            _stats[layer]["misses"] = 0
+
+
+# ---------------------------------------------------------------------------
+# Statistics (merged across pool workers by repro.bench.parallel)
+
+
+def stats_snapshot():
+    """Flat ``{(layer, kind): count}`` copy of the hit/miss counters."""
+    return {
+        (layer, kind): _stats[layer][kind] for layer in LAYERS for kind in ("hits", "misses")
+    }
+
+
+def stats_delta(before):
+    """Counter increments since a :func:`stats_snapshot`."""
+    now = stats_snapshot()
+    return {key: now[key] - before.get(key, 0) for key in now}
+
+
+def merge_stats(delta):
+    """Fold a worker's :func:`stats_delta` into this process's counters."""
+    for (layer, kind), count in delta.items():
+        _stats[layer][kind] += count
+
+
+def stats():
+    """``{layer: {"hits": n, "misses": n}}`` view of the counters."""
+    return {layer: dict(_stats[layer]) for layer in LAYERS}
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: compiled pipelines
+
+
+def cached_compile(function, options):
+    """``compile_function(function, options=options)``, memoized.
+
+    The key is the canonical IR fingerprint of ``function`` plus
+    ``options.cache_key()``; a warm hit skips the whole pass stack. Returns
+    a fresh clone so callers may mutate their pipeline freely. Intrinsic
+    implementations (opaque callables) are stripped before pickling and
+    reattached from ``function`` on the way out.
+    """
+    key = content_hash("pipeline", fingerprint(function), options.cache_key())
+    value = _load("pipeline", key)
+    if value is not None:
+        pipeline = value.clone()
+        pipeline.intrinsics = dict(function.intrinsics)
+        return pipeline
+    pipeline = compile_function(function, options=options)
+    stored = pipeline.clone()
+    stored.intrinsics = {}
+    _store("pipeline", key, stored)
+    return pipeline
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: serial baselines
+
+
+class _EnergyView:
+    """Mimics the ``energy()`` result of a live run (``as_dict()``)."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values):
+        self._values = values
+
+    def as_dict(self):
+        """The per-component energy dict, as recorded at simulation time."""
+        return dict(self._values)
+
+
+class BaselineResult:
+    """A cached serial run: quacks like the slice of ``RunResult`` the
+    harness consumes (``cycles``, ``arrays``, ``breakdown()``, ``energy()``).
+    """
+
+    __slots__ = ("cycles", "arrays", "_breakdown", "_energy")
+
+    def __init__(self, cycles, arrays, breakdown, energy):
+        self.cycles = cycles
+        self.arrays = arrays
+        self._breakdown = breakdown
+        self._energy = energy
+
+    def breakdown(self):
+        """Cycle breakdown dict, as recorded at simulation time."""
+        return dict(self._breakdown)
+
+    def energy(self):
+        """Energy view whose ``as_dict()`` matches the live run's."""
+        return _EnergyView(self._energy)
+
+    def __repr__(self):
+        return "BaselineResult(%.0f cycles)" % self.cycles
+
+
+def cached_serial_run(function, arrays, scalars, config):
+    """``run_serial(...)``, memoized on function + input contents + config.
+
+    This is the shared serial-baseline cache: every figure experiment and
+    ``run_suite`` call that simulates the same serial ``(benchmark, input)``
+    pair under the same machine config gets the recorded result back
+    instead of re-simulating it.
+    """
+    key = content_hash(
+        "baseline",
+        fingerprint(function),
+        fingerprint_env(arrays, scalars),
+        fingerprint_config(config),
+    )
+    value = _load("baseline", key)
+    if value is not None:
+        return BaselineResult(**value)
+    result = run_serial(function, arrays, scalars, config=config)
+    value = {
+        "cycles": result.cycles,
+        "arrays": result.arrays,
+        "breakdown": result.breakdown(),
+        "energy": result.energy().as_dict(),
+    }
+    _store("baseline", key, value)
+    return BaselineResult(**value)
+
+
+# ---------------------------------------------------------------------------
+# Layer 3: profile-guided search scores
+
+
+def cached_search(key_parts, compute):
+    """Memoize a profile-guided search's *scores* (not its pipelines).
+
+    ``compute()`` must return a plain-data payload (the harness stores
+    candidate indices, unit counts, and speedups); the winning pipeline is
+    recompiled through :func:`cached_compile` on a warm hit, which keeps
+    pickles small and pipelines importable everywhere.
+    """
+    key = content_hash("search", *key_parts)
+    value = _load("search", key)
+    if value is not None:
+        return value
+    value = compute()
+    _store("search", key, value)
+    return value

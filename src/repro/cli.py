@@ -13,12 +13,12 @@ Commands mirror how the paper's artifact would be driven:
 
 import argparse
 import sys
+import time
 
-from .core import ALL_PASSES, compile_function, emit_pipeline, pipeline_summary
+from .core import ALL_PASSES, CompileOptions, compile_function, emit_pipeline, pipeline_summary
 from .frontend import compile_source
 from .ir import format_pipeline
 from .pipette import SCALED_1CORE
-from .runtime import run_pipeline, run_serial
 
 
 def _cmd_emit(args):
@@ -41,87 +41,57 @@ def _cmd_emit(args):
     return 0
 
 
-def _demo_graph(args):
-    from .workloads import GRAPH_BENCHMARKS
+#: The variants `demo` runs and prints, in order (all use the unified
+#: adapter + run_suite path; "phloem-static" is the compiled pipeline).
+_DEMO_VARIANTS = ("serial", "data-parallel", "phloem-static", "manual")
+
+
+def _demo_input(args):
+    """One synthetic input item for ``demo`` (graph or matrix)."""
+    from .workloads.datasets import GraphInput, MatrixInput
     from .workloads.graphs import uniform_random
-
-    module = GRAPH_BENCHMARKS[args.bench]
-    graph = uniform_random(args.size, 5, seed=args.seed)
-    print("input: %r" % graph)
-    arrays, scalars = module.make_env(graph)
-    function = module.function()
-    serial = run_serial(function, arrays, scalars, config=SCALED_1CORE)
-    rows = [("serial", serial.cycles, module.check(serial.arrays, graph))]
-
-    dp = module.data_parallel(4)
-    dp_env = module.make_env_dp(graph, 4)
-    dresult = run_pipeline(dp, dp_env[0], dp_env[1], config=SCALED_1CORE)
-    ok = (
-        module.check(dresult.arrays, graph, exact=False, tol=1e-6)
-        if args.bench == "prd"
-        else module.check(dresult.arrays, graph)
-    )
-    rows.append(("data-parallel", dresult.cycles, ok))
-
-    pipeline = compile_function(function, num_stages=args.stages, passes=ALL_PASSES)
-    presult = run_pipeline(pipeline, arrays, scalars, config=SCALED_1CORE)
-    rows.append(("phloem", presult.cycles, module.check(presult.arrays, graph)))
-
-    manual = module.manual_pipeline()
-    mresult = run_pipeline(manual, arrays, scalars, config=SCALED_1CORE)
-    rows.append(("manual", mresult.cycles, module.check(mresult.arrays, graph)))
-    return rows, serial.cycles, pipeline
-
-
-def _demo_spmm(args):
-    from .workloads import spmm
     from .workloads.matrices import random_matrix
 
-    matrix = random_matrix(max(40, args.size // 40), 8, seed=args.seed)
-    print("input: %r" % matrix)
-    arrays, scalars = spmm.make_env(matrix)
-    function = spmm.function()
-    serial = run_serial(function, arrays, scalars, config=SCALED_1CORE)
-    rows = [("serial", serial.cycles, spmm.check(serial.arrays, matrix))]
-    dp = spmm.data_parallel(4)
-    dp_env = spmm.make_env_dp(matrix, 4)
-    dresult = run_pipeline(dp, dp_env[0], dp_env[1], config=SCALED_1CORE)
-    rows.append(("data-parallel", dresult.cycles, spmm.check(dresult.arrays, matrix)))
-    pipeline = compile_function(function, num_stages=args.stages, passes=ALL_PASSES)
-    presult = run_pipeline(pipeline, arrays, scalars, config=SCALED_1CORE)
-    rows.append(("phloem", presult.cycles, spmm.check(presult.arrays, matrix)))
-    manual = spmm.manual_pipeline()
-    mresult = run_pipeline(manual, arrays, scalars, config=SCALED_1CORE)
-    rows.append(("manual", mresult.cycles, spmm.check(mresult.arrays, matrix)))
-    return rows, serial.cycles, pipeline
+    if args.bench == "spmm":
+        return MatrixInput(
+            "demo", "synthetic", lambda: random_matrix(max(40, args.size // 40), 8, seed=args.seed)
+        )
+    return GraphInput(
+        "demo", "synthetic", lambda: uniform_random(args.size, 5, seed=args.seed)
+    )
 
 
 def _cmd_demo(args):
-    if args.bench == "spmm":
-        rows, base, pipeline = _demo_spmm(args)
-    else:
-        rows, base, pipeline = _demo_graph(args)
-    print("phloem pipeline: %s\n" % pipeline_summary(pipeline))
+    from .bench.harness import adapter_for, run_suite
+
+    adapter = adapter_for(args.bench)
+    item = _demo_input(args)
+    print("input: %r" % item.build())
+    suite = run_suite(
+        adapter,
+        [item],
+        [],
+        config=SCALED_1CORE,
+        variants=_DEMO_VARIANTS,
+        options=CompileOptions(num_stages=args.stages),
+    )
+    print("phloem pipeline: %s\n" % pipeline_summary(suite["_meta"]["phloem-static"]))
+    base = suite["serial"][0].cycles
     print("%-16s %14s %9s %6s" % ("variant", "cycles", "speedup", "ok"))
-    for name, cycles, ok in rows:
-        print("%-16s %14.0f %8.2fx %6s" % (name, cycles, base / cycles, ok))
-        if not ok:
-            return 1
-    return 0
+    for name in _DEMO_VARIANTS:
+        run = suite[name][0]
+        print("%-16s %14.0f %8.2fx %6s" % (name, run.cycles, base / run.cycles, run.ok))
+    return 0 if all(suite[name][0].ok for name in _DEMO_VARIANTS) else 1
 
 
 def _cmd_search(args):
-    from .bench.harness import GraphBenchAdapter, SpmmBenchAdapter, profile_guided_pipeline
+    from .bench.harness import adapter_for, profile_guided_pipeline
     from .bench.report import render_distribution
     from .core.autotune import speedup_distribution
-    from .workloads import GRAPH_BENCHMARKS, datasets, spmm
+    from .workloads import datasets
 
-    if args.bench == "spmm":
-        adapter = SpmmBenchAdapter(spmm)
-        train = datasets.TRAIN_MATRICES_SPMM
-    else:
-        adapter = GraphBenchAdapter(GRAPH_BENCHMARKS[args.bench])
-        train = datasets.TRAIN_GRAPHS
+    adapter = adapter_for(args.bench)
+    train = datasets.TRAIN_MATRICES_SPMM if args.bench == "spmm" else datasets.TRAIN_GRAPHS
     best, results = profile_guided_pipeline(adapter, train, config=SCALED_1CORE)
     print(render_distribution("training-set speedups by pipeline length", {args.bench: speedup_distribution(results)}))
     if best is not None:
@@ -140,18 +110,55 @@ _FIGURES = {
     "fig14": "fig14_replication",
 }
 
+#: Figures that re-slice the shared Fig. 9 suites (computed once, in the
+#: parent, with per-benchmark parallelism) rather than running standalone.
+_SUITE_FIGURES = ("fig9", "fig10", "fig11", "fig13")
+
 
 def _cmd_figures(args):
-    from .bench import experiments
+    from . import cache
+    from .bench import experiments, parallel, report
 
     names = args.names or sorted(_FIGURES)
     for name in names:
         if name not in _FIGURES:
             print("unknown figure %r (choose from %s)" % (name, ", ".join(sorted(_FIGURES))))
             return 2
-        result = getattr(experiments, _FIGURES[name])()
-        print(result["text"])
+
+    jobs = parallel.resolve_jobs(args.jobs)
+    parallel.clear_job_log()
+    start = time.perf_counter()
+
+    # Two-phase job graph, one pool level deep: the Fig. 9 suites fan out
+    # per benchmark, standalone figures fan out per figure; the suite
+    # re-slicing figures then run in-parent against the warm suites.
+    results = {}
+    standalone = [n for n in names if n not in _SUITE_FIGURES]
+    if any(n in _SUITE_FIGURES for n in names):
+        experiments.ensure_suites(jobs=jobs)
+    if standalone:
+        job_list = [
+            parallel.Job(name, getattr(experiments, _FIGURES[name])) for name in standalone
+        ]
+        for job_result in parallel.run_jobs(job_list, workers=jobs):
+            results[job_result.key] = job_result.value
+    for name in names:
+        if name not in results:
+            results[name] = getattr(experiments, _FIGURES[name])()
+
+    for name in names:
+        print(results[name]["text"])
         print()
+
+    # Harness telemetry on stderr, keeping stdout byte-identical to a
+    # serial, cache-less run: per-job wall times and cache hit rates (a
+    # cold-vs-warm pair of invocations shows the caches working).
+    elapsed = time.perf_counter() - start
+    print(
+        report.render_job_times(parallel.job_log(), workers=jobs, total_wall=elapsed),
+        file=sys.stderr,
+    )
+    print(report.render_cache_stats(cache.stats(), directory=cache.cache_dir()), file=sys.stderr)
     return 0
 
 
@@ -183,6 +190,12 @@ def build_parser():
 
     figures = sub.add_parser("figures", help="regenerate evaluation figures")
     figures.add_argument("names", nargs="*", metavar="figN")
+    figures.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the harness (default: REPRO_JOBS env or 1)",
+    )
     figures.set_defaults(func=_cmd_figures)
 
     return parser

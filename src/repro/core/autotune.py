@@ -39,6 +39,31 @@ class CandidateResult:
         )
 
 
+class SearchPoint:
+    """A pipeline-free candidate summary: point indices, unit count, score.
+
+    What the search cache stores and what the harness ships across worker
+    boundaries — everything Fig. 13 plots, without pickling a pipeline.
+    ``pipeline`` is attached only on the winning candidate (recompiled
+    through the pipeline cache when the scores came from a warm hit).
+    """
+
+    __slots__ = ("indices", "num_units", "speedup", "pipeline")
+
+    def __init__(self, indices, num_units, speedup, pipeline=None):
+        self.indices = tuple(indices)
+        self.num_units = num_units
+        self.speedup = speedup
+        self.pipeline = pipeline
+
+    def __repr__(self):
+        return "Candidate(points=%s, units=%d, speedup=%.2f)" % (
+            list(self.indices),
+            self.num_units,
+            self.speedup,
+        )
+
+
 def candidate_count(function, top_k=7):
     """How many ranked points the search can draw from."""
     work = function.clone()

@@ -15,6 +15,9 @@ protocol the control-value passes leave behind; the *pass set* is exposed
 so the Fig. 6 ablation can reproduce each intermediate configuration.
 """
 
+import dataclasses
+from dataclasses import dataclass
+
 from ..errors import CompileError
 from ..frontend.lowering import compile_source
 from ..ir.stmts import walk
@@ -28,6 +31,59 @@ from .recompute import apply_recompute
 #: Every optional pass, in application order. "queues" (pass 1) is implied
 #: by decoupling itself and always on.
 ALL_PASSES = ("recompute", "cv", "dce", "handlers", "ra")
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Everything that shapes a compilation, as one hashable value.
+
+    Consolidates the ``num_stages``/``passes``/``max_ras``/... kwarg sprawl
+    on :func:`compile_function`: pass ``options=CompileOptions(...)`` to the
+    compiler, the autotune search, or the bench harness. Being frozen and
+    canonically keyable (:meth:`cache_key`), an options value doubles as the
+    second half of the compiled-pipeline cache key (:mod:`repro.cache`) —
+    the first half being the content hash of the lowered IR.
+    """
+
+    num_stages: int = 4
+    passes: tuple = ALL_PASSES
+    max_ras: int = 4
+    queue_capacity: int = 24
+    max_queues: int = 16
+    point_indices: tuple = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "passes", tuple(self.passes))
+        if self.point_indices is not None:
+            object.__setattr__(self, "point_indices", tuple(self.point_indices))
+        if self.num_stages < 1:
+            raise CompileError("num_stages must be >= 1")
+        for name in self.passes:
+            if name not in ALL_PASSES:
+                raise CompileError("unknown pass %r" % name)
+
+    def replace(self, **changes):
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+    def merge(self, **overrides):
+        """A copy with every non-``None`` override applied (kwarg shims)."""
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return dataclasses.replace(self, **changes) if changes else self
+
+    def cache_key(self):
+        """Canonical one-line text of this options value (cache key half)."""
+        points = (
+            "-" if self.point_indices is None else ",".join(str(i) for i in self.point_indices)
+        )
+        return "stages=%d;passes=%s;max_ras=%d;qcap=%d;maxq=%d;points=%s" % (
+            self.num_stages,
+            ",".join(self.passes),
+            self.max_ras,
+            self.queue_capacity,
+            self.max_queues,
+            points,
+        )
 
 
 def _remove_dead_queues(pipeline):
@@ -75,28 +131,37 @@ def _strip(body, target):
 
 def compile_function(
     function,
-    num_stages=4,
-    passes=ALL_PASSES,
-    max_ras=4,
-    queue_capacity=24,
-    max_queues=16,
+    num_stages=None,
+    passes=None,
+    max_ras=None,
+    queue_capacity=None,
+    max_queues=None,
     point_indices=None,
+    options=None,
 ):
-    """Compile a serial function into a pipeline with up to ``num_stages`` stages.
+    """Compile a serial function into a pipeline.
 
-    ``point_indices`` selects specific ranked decoupling points (the
-    profile-guided search drives this); by default the static cost model's
-    top choices are used.
+    ``options`` is a :class:`CompileOptions`; the individual kwargs are thin
+    shims kept for the original API, and any that are passed explicitly
+    override the corresponding ``options`` field. ``point_indices`` selects
+    specific ranked decoupling points (the profile-guided search drives
+    this); by default the static cost model's top choices are used.
     """
-    if num_stages < 1:
-        raise CompileError("num_stages must be >= 1")
-    passes = tuple(passes)
-    for name in passes:
-        if name not in ALL_PASSES:
-            raise CompileError("unknown pass %r" % name)
+    options = (options or CompileOptions()).merge(
+        num_stages=num_stages,
+        passes=passes,
+        max_ras=max_ras,
+        queue_capacity=queue_capacity,
+        max_queues=max_queues,
+        point_indices=point_indices,
+    )
+    passes = options.passes
 
     pipeline, _points = decouple_function(
-        function, num_stages - 1, capacity=queue_capacity, point_indices=point_indices
+        function,
+        options.num_stages - 1,
+        capacity=options.queue_capacity,
+        point_indices=options.point_indices,
     )
 
     if "recompute" in passes:
@@ -111,26 +176,30 @@ def compile_function(
         # Clean first: the chain matcher wants copy-propagated plumbing.
         for stage in pipeline.stages:
             cleanup_stage(stage)
-        apply_reference_accelerators(pipeline, max_ras=max_ras, capacity=queue_capacity)
+        apply_reference_accelerators(
+            pipeline, max_ras=options.max_ras, capacity=options.queue_capacity
+        )
 
     _remove_dead_queues(pipeline)
     for stage in pipeline.stages:
         cleanup_stage(stage)
     drop_trivial_stages(pipeline)
-    pipeline.meta["requested_stages"] = num_stages
+    pipeline.meta["requested_stages"] = options.num_stages
     pipeline.meta["pass_set"] = list(passes)
     if function.pragmas.get("replicate"):
         # `#pragma replicate N`: record the request; the caller materializes
         # the replicas with core.replicate.replicate_pipeline (Sec. IV-C).
         pipeline.meta["replicate"] = function.pragmas["replicate"]
-    verify_pipeline(pipeline, max_queues=max_queues, max_ras=max_ras)
+    verify_pipeline(pipeline, max_queues=options.max_queues, max_ras=options.max_ras)
     return pipeline
 
 
-def compile_c(source, name=None, num_stages=4, passes=ALL_PASSES, **kwargs):
+def compile_c(source, name=None, num_stages=None, passes=None, options=None, **kwargs):
     """Parse mini-C source and compile the (named) kernel into a pipeline."""
     function = compile_source(source, name=name)
-    return compile_function(function, num_stages=num_stages, passes=passes, **kwargs)
+    return compile_function(
+        function, num_stages=num_stages, passes=passes, options=options, **kwargs
+    )
 
 
 def pipeline_summary(pipeline):

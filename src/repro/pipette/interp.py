@@ -119,6 +119,34 @@ class ThreadCtx:
         return 0.0
 
 
+def _assign_pcs(stage):
+    """Branch PCs by structural position (preorder walk of the stage).
+
+    The gshare predictor indexes its tables by PC. Object addresses
+    (``id``) would tie timing to allocator state, so two structurally
+    identical pipelines could mispredict differently — and cached or
+    pool-worker runs would not be bit-identical to serial ones.
+    """
+    table = {}
+    counter = [0]
+
+    def walk(body):
+        for stmt in body:
+            table[id(stmt)] = counter[0]
+            counter[0] += 1
+            kind = stmt.kind
+            if kind == "if":
+                walk(stmt.then_body)
+                walk(stmt.else_body or [])
+            elif kind in ("for", "loop"):
+                walk(stmt.body)
+
+    walk(stage.body)
+    for qid in sorted(stage.handlers):
+        walk(stage.handlers[qid])
+    return table
+
+
 class StageInterp:
     """Interprets one stage of a pipeline on one simulated thread."""
 
@@ -127,6 +155,7 @@ class StageInterp:
         self.ctx = ctx
         self.env = runenv  # RunEnv: arrays, queues, shared cells, barrier...
         self.handlers = stage.handlers
+        self.pcs = _assign_pcs(stage)
 
     # -- operand helpers -----------------------------------------------------
 
@@ -253,7 +282,7 @@ class StageInterp:
                 taken = bool(cond)
                 slot = ctx.issue(1)
                 ctx.stats.branches += 1
-                correct = ctx.pred.predict_and_update(id(stmt) >> 4, taken)
+                correct = ctx.pred.predict_and_update(self.pcs[id(stmt)], taken)
                 if not correct:
                     resolve = max(slot, ctx.ready_of(stmt.cond))
                     target = resolve + ctx.config.mispredict_penalty
@@ -382,7 +411,7 @@ class StageInterp:
         lo = self.val(stmt.lo)
         hi = self.val(stmt.hi)
         step = self.val(stmt.step)
-        pc = id(stmt) >> 4
+        pc = self.pcs[id(stmt)]
         bound_dep = max(ctx.ready_of(stmt.lo), ctx.ready_of(stmt.hi))
         i = lo
         while True:

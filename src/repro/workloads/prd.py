@@ -144,6 +144,16 @@ def check(arrays, graph, exact=True, tol=1e-9):
     return all(abs(a - b) <= tol * max(1.0, abs(b)) for a, b in zip(got, expected))
 
 
+def check_dp(arrays, graph):
+    """Validation for the data-parallel variant.
+
+    Its threads reassociate the floating-point delta reductions, so ranks
+    match the serial reference only to a tolerance. Decoupled pipelines
+    preserve the serial reduction order and use exact :func:`check`.
+    """
+    return check(arrays, graph, exact=False, tol=1e-6)
+
+
 def manual_pipeline():
     """Hand-tuned 3-stage + 2-chained-RA pipeline with a prefetch stage.
 

@@ -3,17 +3,22 @@
 import pytest
 
 from repro.bench.harness import (
+    BenchAdapter,
     GraphBenchAdapter,
+    SpmmBenchAdapter,
     VariantRun,
+    adapter_for,
     gmean_speedup,
     normalized_breakdowns,
     normalized_energy,
     profile_guided_pipeline,
     run_suite,
 )
-from repro.workloads import bfs
-from repro.workloads.datasets import GraphInput
+from repro.core import CompileOptions
+from repro.workloads import bfs, prd, spmm
+from repro.workloads.datasets import GraphInput, MatrixInput
 from repro.workloads.graphs import uniform_random
+from repro.workloads.matrices import random_matrix
 
 
 @pytest.fixture(scope="module")
@@ -22,6 +27,24 @@ def micro_inputs():
         GraphInput("t1", "test", lambda: uniform_random(80, 3, seed=1)),
         GraphInput("t2", "test", lambda: uniform_random(90, 3, seed=2)),
     ]
+
+
+def test_unified_adapter_aliases():
+    """The graph/SpMM adapters merged; the old names still resolve."""
+    assert GraphBenchAdapter is BenchAdapter
+    assert SpmmBenchAdapter is BenchAdapter
+    assert adapter_for("spmm").module is spmm
+    assert adapter_for(bfs).name == "bfs"
+
+
+def test_check_dp_dispatch():
+    """check_dp falls back to check unless the module loosens it (PRD)."""
+    graph = uniform_random(60, 3, seed=5)
+    arrays, _ = bfs.make_env(graph)
+    adapter = adapter_for("bfs")
+    assert adapter.check_dp(arrays, graph) == bfs.check(arrays, graph)
+    assert adapter_for("prd").check_dp.__func__ is BenchAdapter.check_dp
+    assert callable(prd.check_dp)
 
 
 def test_gmean_speedup():
@@ -60,3 +83,29 @@ def test_run_suite_end_to_end(micro_inputs, tiny_config):
     assert abs(sum(breakdowns["serial"].values()) - 1.0) < 1e-9
     energy = normalized_energy(suite)
     assert abs(sum(energy["serial"].values()) - 1.0) < 1e-9
+
+
+def test_run_suite_options_equals_legacy_kwargs(micro_inputs, tiny_config):
+    """CompileOptions and the num_stages shim steer the same compilation."""
+    adapter = adapter_for("bfs")
+    via_kwarg = run_suite(
+        adapter, micro_inputs[:1], [], config=tiny_config,
+        variants=("serial", "phloem-static"), num_stages=3,
+    )
+    via_options = run_suite(
+        adapter, micro_inputs[:1], [], config=tiny_config,
+        variants=("serial", "phloem-static"), options=CompileOptions(num_stages=3),
+    )
+    assert (
+        via_options["phloem-static"][0].cycles == via_kwarg["phloem-static"][0].cycles
+    )
+
+
+def test_run_suite_matrix_benchmark(tiny_config):
+    """The single adapter drives SpMM through the same run_suite path."""
+    item = MatrixInput("m1", "test", lambda: random_matrix(30, 4, seed=7))
+    suite = run_suite(
+        adapter_for("spmm"), [item], [], config=tiny_config,
+        variants=("serial", "phloem-static"),
+    )
+    assert suite["serial"][0].ok and suite["phloem-static"][0].ok

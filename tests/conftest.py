@@ -1,9 +1,23 @@
 """Shared fixtures: tiny inputs and configs that keep unit tests fast."""
 
+import os
+
 import pytest
 
 from repro.pipette.config import CacheConfig, MachineConfig
 from repro.workloads.graphs import uniform_random
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _cache_sandbox(tmp_path_factory):
+    """Keep the repro.cache disk layer out of ``~/.cache`` during tests."""
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("phloem-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
 
 
 @pytest.fixture(scope="session")

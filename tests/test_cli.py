@@ -1,5 +1,9 @@
 """CLI surface."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -60,3 +64,36 @@ def test_parser_requires_command():
 
 def test_figures_rejects_unknown(capsys):
     assert main(["figures", "fig99"]) == 2
+
+
+def test_demo_spmm(capsys):
+    assert main(["demo", "spmm", "--size", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "serial" in out and "manual" in out
+    assert "False" not in out
+
+
+def test_figures_jobs_flag_parses():
+    args = build_parser().parse_args(["figures", "fig6", "--jobs", "4"])
+    assert args.jobs == 4 and args.names == ["fig6"]
+    assert build_parser().parse_args(["figures"]).jobs is None
+
+
+def test_figures_fig6_smoke(tmp_path):
+    """End-to-end: QUICK fig6 through the parallel harness with a cold cache."""
+    env = dict(os.environ)
+    env.update(
+        REPRO_QUICK="1",
+        REPRO_CACHE_DIR=str(tmp_path),
+        PYTHONPATH=os.path.join(os.path.dirname(__file__), "..", "src"),
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "figures", "fig6", "--jobs", "2"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "Fig. 6" in proc.stdout
+    assert "cache" in proc.stderr  # telemetry lands on stderr, not stdout
