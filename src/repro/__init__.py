@@ -13,7 +13,7 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.cache` -- compiled-pipeline / serial-baseline memo layers
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .core import ALL_PASSES, CompileOptions, compile_c, compile_function, replicate_pipeline
 from .frontend import compile_source

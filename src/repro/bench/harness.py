@@ -115,7 +115,7 @@ def adapter_for(bench):
 
 
 def _record(variant, input_name, result, ok):
-    return VariantRun(
+    run = VariantRun(
         variant,
         input_name,
         result.cycles,
@@ -123,9 +123,17 @@ def _record(variant, input_name, result, ok):
         result.breakdown(),
         result.energy().as_dict(),
     )
+    # Full SimStats summary, for the structured metrics pipeline
+    # (repro.obs.record). Live runs carry stats; cached baselines recorded
+    # before the summary field existed return None and are simply omitted.
+    stats = getattr(result, "stats", None)
+    summary = stats.summary() if stats is not None else result.summary()
+    if summary is not None:
+        run.meta["summary"] = summary
+    return run
 
 
-def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stages=4, top_k=5, limit=40, passes=ALL_PASSES):
+def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stages=4, top_k=5, limit=40, passes=ALL_PASSES, recorder=None):
     """Run the paper's profile-guided search; returns (best, all results).
 
     The evaluator scores each candidate by gmean speedup over serial on the
@@ -134,6 +142,11 @@ def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stag
     are pipeline-free :class:`SearchPoint` summaries — small enough to ship
     across process boundaries and to pickle to disk; ``best`` carries a
     real pipeline, recompiled through the pipeline cache on warm hits.
+
+    ``recorder`` (a :class:`repro.obs.SearchRecorder`) observes the search.
+    On a warm cache hit the scored candidates and verdict are replayed from
+    the cached payload (failed candidates are not cached, so the replay
+    shows scores only).
     """
     function = adapter.function()
     baselines = {}
@@ -167,7 +180,8 @@ def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stag
             return gmean(speeds)
 
         best, results = search_pipelines(
-            function, evaluate, max_stages=max_stages, top_k=top_k, limit=limit, passes=passes
+            function, evaluate, max_stages=max_stages, top_k=top_k, limit=limit,
+            passes=passes, recorder=recorder
         )
         return {
             "points": [(list(r.indices), r.num_units, r.speedup) for r in results],
@@ -175,6 +189,11 @@ def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stag
         }
 
     payload = cache.cached_search(key_parts, compute)
+    if recorder is not None and not recorder.candidates:
+        # Warm hit: compute() never ran, so replay the cached scores.
+        for indices, units, speedup in payload["points"]:
+            recorder.scored(indices, units, speedup)
+        recorder.decide(payload["best"])
     results = [
         SearchPoint(tuple(indices), units, speedup)
         for indices, units, speedup in payload["points"]
@@ -200,6 +219,7 @@ def run_suite(
     num_stages=None,
     options=None,
     jobs=None,
+    recorder=None,
 ):
     """Run all requested variants on all test inputs.
 
@@ -211,7 +231,9 @@ def run_suite(
 
     Returns ``{variant: [VariantRun, ...]}`` plus the search results under
     the key ``"_search"`` when the profile-guided variant ran, and pipeline
-    summaries under ``"_meta"``.
+    summaries under ``"_meta"``. ``recorder`` (a
+    :class:`repro.obs.SearchRecorder`) observes the profile-guided search
+    when the ``"phloem"`` variant is requested.
     """
     variants = variants or ("serial", "data-parallel", "phloem", "phloem-static", "manual")
     options = (options or CompileOptions()).merge(num_stages=num_stages)
@@ -231,6 +253,7 @@ def run_suite(
                 config=config,
                 max_stages=options.num_stages,
                 passes=options.passes,
+                recorder=recorder,
             )
             out["_search"] = results
         except PhloemError:

@@ -233,16 +233,18 @@ class _EnergyView:
 
 class BaselineResult:
     """A cached serial run: quacks like the slice of ``RunResult`` the
-    harness consumes (``cycles``, ``arrays``, ``breakdown()``, ``energy()``).
+    harness consumes (``cycles``, ``arrays``, ``breakdown()``, ``energy()``,
+    ``summary()``).
     """
 
-    __slots__ = ("cycles", "arrays", "_breakdown", "_energy")
+    __slots__ = ("cycles", "arrays", "_breakdown", "_energy", "_summary")
 
-    def __init__(self, cycles, arrays, breakdown, energy):
+    def __init__(self, cycles, arrays, breakdown, energy, summary=None):
         self.cycles = cycles
         self.arrays = arrays
         self._breakdown = breakdown
         self._energy = energy
+        self._summary = summary
 
     def breakdown(self):
         """Cycle breakdown dict, as recorded at simulation time."""
@@ -251,6 +253,10 @@ class BaselineResult:
     def energy(self):
         """Energy view whose ``as_dict()`` matches the live run's."""
         return _EnergyView(self._energy)
+
+    def summary(self):
+        """The ``SimStats.summary()`` dict recorded at simulation time."""
+        return None if self._summary is None else dict(self._summary)
 
     def __repr__(self):
         return "BaselineResult(%.0f cycles)" % self.cycles
@@ -279,6 +285,7 @@ def cached_serial_run(function, arrays, scalars, config):
         "arrays": result.arrays,
         "breakdown": result.breakdown(),
         "energy": result.energy().as_dict(),
+        "summary": result.stats.summary(),
     }
     _store("baseline", key, value)
     return BaselineResult(**value)

@@ -8,7 +8,14 @@ Commands mirror how the paper's artifact would be driven:
   input, comparing serial / data-parallel / Phloem / manual;
 * ``search BENCH`` — run the profile-guided pipeline search and print the
   Fig. 13-style distribution;
-* ``figures [NAME...]`` — regenerate evaluation figures (fig6..fig14).
+* ``figures [NAME...]`` — regenerate evaluation figures (fig6..fig14);
+* ``trace BENCH`` — run one benchmark with cycle-domain tracing on and
+  write a Chrome trace-event file (load it at ui.perfetto.dev);
+* ``metrics BENCH`` — run the comparison suite and emit structured
+  JSONL RunRecords (:mod:`repro.obs.record`).
+
+``--quiet`` (or ``REPRO_QUIET=1``) silences the stderr telemetry
+(wall-clock/cache chatter); figure results on stdout are unaffected.
 """
 
 import argparse
@@ -115,10 +122,110 @@ _FIGURES = {
 _SUITE_FIGURES = ("fig9", "fig10", "fig11", "fig13")
 
 
+def _cmd_trace(args):
+    from . import cache, obs
+    from .bench.harness import adapter_for
+
+    if args.quiet:
+        obs.set_quiet(True)
+    adapter = adapter_for(args.bench)
+    item = _demo_input(args)
+    data = item.build()
+    arrays, scalars = adapter.env(data)
+    function = adapter.function()
+    options = CompileOptions(num_stages=args.stages)
+
+    profiler = obs.PassProfiler() if args.profile_passes else None
+    if profiler is not None:
+        pipeline = compile_function(function, options=options, profiler=profiler)
+    else:
+        pipeline = cache.cached_compile(function, options)
+
+    serial = cache.cached_serial_run(function, arrays, scalars, SCALED_1CORE)
+    tracer = obs.Tracer()
+    tracer.meta.update({"bench": args.bench, "input": item.name})
+    from .runtime.executor import run_pipeline
+
+    result = run_pipeline(pipeline, arrays, scalars, config=SCALED_1CORE, tracer=tracer)
+    ok = adapter.check(result.arrays, data)
+
+    print("pipeline: %s" % pipeline_summary(pipeline))
+    print(
+        "serial %.0f cycles, traced pipeline %.0f cycles (%.2fx), ok=%s"
+        % (serial.cycles, result.cycles, serial.cycles / result.cycles, ok)
+    )
+    print()
+    print(obs.render_timeline(obs.summarize_timeline(tracer)))
+    if profiler is not None:
+        print()
+        print(profiler.render())
+
+    if args.trace_out:
+        obs.write_chrome_trace(tracer, args.trace_out, meta={"bench": args.bench})
+        obs.log("trace: %d events -> %s (open at ui.perfetto.dev)", len(tracer), args.trace_out)
+    if args.metrics_out:
+        records = [
+            obs.run_record(
+                args.bench, "serial", item.name, serial.cycles, ok=True,
+                summary=serial.summary(), breakdown=serial.breakdown(),
+                energy=serial.energy().as_dict(), speedup=1.0,
+            ),
+            obs.run_record(
+                args.bench, "phloem-static", item.name, result.cycles, ok=ok,
+                summary=result.stats.summary(), breakdown=result.breakdown(),
+                energy=result.energy().as_dict(),
+                speedup=serial.cycles / result.cycles,
+                cache_stats=cache.stats(),
+                passes=None if profiler is None else profiler.as_dicts(),
+            ),
+        ]
+        obs.write_jsonl(records, args.metrics_out)
+        obs.log("metrics: %d records -> %s", len(records), args.metrics_out)
+    return 0 if ok else 1
+
+
+def _cmd_metrics(args):
+    import json
+
+    from . import cache, obs
+    from .bench.harness import adapter_for, run_suite
+
+    if args.quiet:
+        obs.set_quiet(True)
+    adapter = adapter_for(args.bench)
+    item = _demo_input(args)
+    options = CompileOptions(num_stages=args.stages)
+    suite = run_suite(
+        adapter,
+        [item],
+        [],
+        config=SCALED_1CORE,
+        variants=_DEMO_VARIANTS,
+        options=options,
+        jobs=args.jobs,
+    )
+    records = obs.records_from_suite(args.bench, suite, cache_stats=cache.stats())
+    if args.profile_passes:
+        profiler = obs.PassProfiler()
+        compile_function(adapter.function(), options=options, profiler=profiler)
+        for record in records:
+            if record["variant"] == "phloem-static":
+                record["passes"] = profiler.as_dicts()
+    if args.metrics_out:
+        obs.write_jsonl(records, args.metrics_out)
+        obs.log("metrics: %d records -> %s", len(records), args.metrics_out)
+    else:
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+    return 0 if all(r.get("ok", True) for r in records) else 1
+
+
 def _cmd_figures(args):
-    from . import cache
+    from . import cache, obs
     from .bench import experiments, parallel, report
 
+    if args.quiet:
+        obs.set_quiet(True)
     names = args.names or sorted(_FIGURES)
     for name in names:
         if name not in _FIGURES:
@@ -150,15 +257,27 @@ def _cmd_figures(args):
         print(results[name]["text"])
         print()
 
-    # Harness telemetry on stderr, keeping stdout byte-identical to a
-    # serial, cache-less run: per-job wall times and cache hit rates (a
-    # cold-vs-warm pair of invocations shows the caches working).
+    if args.metrics_out:
+        # Structured RunRecords for whatever suites this invocation ran
+        # (the fig9/10/11/13 family); per-suite record lists merge
+        # deterministically regardless of worker count.
+        from .bench.experiments import _SUITES
+
+        record_lists = [
+            obs.records_from_suite(bench, suite, cache_stats=cache.stats())
+            for bench, suite in _SUITES.items()
+        ]
+        records = obs.merge_records(*record_lists)
+        obs.write_jsonl(records, args.metrics_out)
+        obs.log("metrics: %d records -> %s", len(records), args.metrics_out)
+
+    # Harness telemetry on stderr (obs.log: --quiet/REPRO_QUIET silences
+    # it), keeping stdout byte-identical to a serial, cache-less run:
+    # per-job wall times and cache hit rates (a cold-vs-warm pair of
+    # invocations shows the caches working).
     elapsed = time.perf_counter() - start
-    print(
-        report.render_job_times(parallel.job_log(), workers=jobs, total_wall=elapsed),
-        file=sys.stderr,
-    )
-    print(report.render_cache_stats(cache.stats(), directory=cache.cache_dir()), file=sys.stderr)
+    obs.log("%s", report.render_job_times(parallel.job_log(), workers=jobs, total_wall=elapsed))
+    obs.log("%s", report.render_cache_stats(cache.stats(), directory=cache.cache_dir()))
     return 0
 
 
@@ -196,7 +315,55 @@ def build_parser():
         default=None,
         help="worker processes for the harness (default: REPRO_JOBS env or 1)",
     )
+    figures.add_argument(
+        "--quiet", action="store_true", help="silence stderr telemetry (wall times, cache rates)"
+    )
+    figures.add_argument(
+        "--metrics-out", default=None, metavar="FILE.jsonl",
+        help="write structured RunRecords for the suites this run computed",
+    )
     figures.set_defaults(func=_cmd_figures)
+
+    trace = sub.add_parser(
+        "trace", help="run one benchmark with cycle-domain tracing on"
+    )
+    trace.add_argument("bench", choices=("bfs", "cc", "prd", "radii", "spmm"))
+    trace.add_argument("--size", type=int, default=4000)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--stages", type=int, default=4)
+    trace.add_argument(
+        "--trace-out", default=None, metavar="FILE.json",
+        help="write a Chrome trace-event file (open at ui.perfetto.dev)",
+    )
+    trace.add_argument(
+        "--metrics-out", default=None, metavar="FILE.jsonl",
+        help="write RunRecords for the serial and traced runs",
+    )
+    trace.add_argument(
+        "--profile-passes", action="store_true",
+        help="instrument the compiler passes and print the timing table",
+    )
+    trace.add_argument("--quiet", action="store_true", help="silence stderr telemetry")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="run the comparison suite and emit JSONL RunRecords"
+    )
+    metrics.add_argument("bench", choices=("bfs", "cc", "prd", "radii", "spmm"))
+    metrics.add_argument("--size", type=int, default=4000)
+    metrics.add_argument("--seed", type=int, default=1)
+    metrics.add_argument("--stages", type=int, default=4)
+    metrics.add_argument("--jobs", type=int, default=None)
+    metrics.add_argument(
+        "--metrics-out", default=None, metavar="FILE.jsonl",
+        help="destination file (default: JSONL on stdout)",
+    )
+    metrics.add_argument(
+        "--profile-passes", action="store_true",
+        help="attach compile-pass timings to the phloem-static records",
+    )
+    metrics.add_argument("--quiet", action="store_true", help="silence stderr telemetry")
+    metrics.set_defaults(func=_cmd_metrics)
 
     return parser
 

@@ -79,6 +79,7 @@ def search_pipelines(
     passes=ALL_PASSES,
     limit=80,
     keep_failures=False,
+    recorder=None,
 ):
     """Enumerate, compile, and profile candidate pipelines.
 
@@ -87,6 +88,10 @@ def search_pipelines(
     holds every profiled candidate — the distribution Fig. 13 plots.
     Combinations the compiler rejects (alias races, backward control) are
     skipped, exactly as untransformable candidates should be.
+
+    ``recorder`` (a :class:`repro.obs.SearchRecorder`) logs every candidate
+    — scored, compile-rejected, or evaluation-failed — and the selection
+    verdict; it observes the search without altering it.
     """
     k = candidate_count(function, top_k)
     combos = []
@@ -104,15 +109,23 @@ def search_pipelines(
             )
         except PhloemError as exc:
             failures.append((indices, str(exc)))
+            if recorder is not None:
+                recorder.failed(indices, "compile", exc)
             continue
         try:
             speedup = evaluate(pipeline)
         except PhloemError as exc:
             failures.append((indices, str(exc)))
+            if recorder is not None:
+                recorder.failed(indices, "evaluate", exc)
             continue
         results.append(CandidateResult(indices, pipeline, speedup))
+        if recorder is not None:
+            recorder.scored(indices, pipeline.num_units, speedup)
 
     best = max(results, key=lambda r: r.speedup) if results else None
+    if recorder is not None:
+        recorder.decide(None if best is None else best.indices)
     if keep_failures:
         return best, results, failures
     return best, results

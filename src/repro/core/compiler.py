@@ -138,6 +138,7 @@ def compile_function(
     max_queues=None,
     point_indices=None,
     options=None,
+    profiler=None,
 ):
     """Compile a serial function into a pipeline.
 
@@ -146,6 +147,10 @@ def compile_function(
     override the corresponding ``options`` field. ``point_indices`` selects
     specific ranked decoupling points (the profile-guided search drives
     this); by default the static cost model's top choices are used.
+
+    ``profiler`` (a :class:`repro.obs.PassProfiler`) records per-pass wall
+    time and IR deltas; it is observation only and never part of the
+    compiled-pipeline cache key.
     """
     options = (options or CompileOptions()).merge(
         num_stages=num_stages,
@@ -157,33 +162,51 @@ def compile_function(
     )
     passes = options.passes
 
-    pipeline, _points = decouple_function(
+    if profiler is None:
+        def run(name, subject, fn, result_of=None):
+            return fn()
+    else:
+        run = profiler.measure
+
+    pipeline, _points = run(
+        "decouple",
         function,
-        options.num_stages - 1,
-        capacity=options.queue_capacity,
-        point_indices=options.point_indices,
+        lambda: decouple_function(
+            function,
+            options.num_stages - 1,
+            capacity=options.queue_capacity,
+            point_indices=options.point_indices,
+            profiler=profiler,
+        ),
+        result_of=lambda r: r[0],
     )
 
     if "recompute" in passes:
-        apply_recompute(pipeline)
+        run("recompute", pipeline, lambda: apply_recompute(pipeline))
     if "cv" in passes:
-        apply_control_values(pipeline)
+        run("cv", pipeline, lambda: apply_control_values(pipeline))
     if "dce" in passes:
-        apply_interstage_dce(pipeline)
+        run("dce", pipeline, lambda: apply_interstage_dce(pipeline))
     if "handlers" in passes:
-        apply_control_handlers(pipeline)
+        run("handlers", pipeline, lambda: apply_control_handlers(pipeline))
     if "ra" in passes:
-        # Clean first: the chain matcher wants copy-propagated plumbing.
+        def apply_ra():
+            # Clean first: the chain matcher wants copy-propagated plumbing.
+            for stage in pipeline.stages:
+                cleanup_stage(stage)
+            apply_reference_accelerators(
+                pipeline, max_ras=options.max_ras, capacity=options.queue_capacity
+            )
+
+        run("ra", pipeline, apply_ra)
+
+    def finalize():
+        _remove_dead_queues(pipeline)
         for stage in pipeline.stages:
             cleanup_stage(stage)
-        apply_reference_accelerators(
-            pipeline, max_ras=options.max_ras, capacity=options.queue_capacity
-        )
+        drop_trivial_stages(pipeline)
 
-    _remove_dead_queues(pipeline)
-    for stage in pipeline.stages:
-        cleanup_stage(stage)
-    drop_trivial_stages(pipeline)
+    run("finalize", pipeline, finalize)
     pipeline.meta["requested_stages"] = options.num_stages
     pipeline.meta["pass_set"] = list(passes)
     if function.pragmas.get("replicate"):
@@ -194,11 +217,12 @@ def compile_function(
     return pipeline
 
 
-def compile_c(source, name=None, num_stages=None, passes=None, options=None, **kwargs):
+def compile_c(source, name=None, num_stages=None, passes=None, options=None, profiler=None, **kwargs):
     """Parse mini-C source and compile the (named) kernel into a pipeline."""
     function = compile_source(source, name=name)
     return compile_function(
-        function, num_stages=num_stages, passes=passes, options=options, **kwargs
+        function, num_stages=num_stages, passes=passes, options=options,
+        profiler=profiler, **kwargs
     )
 
 

@@ -33,7 +33,7 @@ def _loads_present(body, point):
     return all(id(load) in present for load in point.loads)
 
 
-def decouple_function(function, num_points, capacity=24, point_indices=None):
+def decouple_function(function, num_points, capacity=24, point_indices=None, profiler=None):
     """Split ``function`` at up to ``num_points`` ranked points.
 
     Returns ``(pipeline, applied_points)``. The returned pipeline has had
@@ -46,7 +46,7 @@ def decouple_function(function, num_points, capacity=24, point_indices=None):
     search can discard the combination.
     """
     work = function.clone()
-    shared_vars = prepare_phases(work)
+    shared_vars = prepare_phases(work, profiler=profiler)
     ranked = rank_decouple_points(work)
     rejected = set()
 

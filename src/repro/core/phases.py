@@ -100,11 +100,20 @@ def _position_after_last_loop(body):
     return last
 
 
-def prepare_phases(function):
-    """Detect and transform the phase loop; returns shared var names."""
+def prepare_phases(function, profiler=None):
+    """Detect and transform the phase loop; returns shared var names.
+
+    ``profiler`` (a :class:`repro.obs.PassProfiler`) records the transform
+    as a ``"phases"`` pass; the record only appears when a phase loop is
+    actually found and rewritten.
+    """
     from ..analysis.loops import find_phase_loop
 
     phase_loop = find_phase_loop(function.body)
     if phase_loop is None:
         return []
-    return apply_phase_transform(function, phase_loop)
+    if profiler is None:
+        return apply_phase_transform(function, phase_loop)
+    return profiler.measure(
+        "phases", function, lambda: apply_phase_transform(function, phase_loop)
+    )

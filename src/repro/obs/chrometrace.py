@@ -1,0 +1,200 @@
+"""Chrome trace-event JSON export (``chrome://tracing`` / Perfetto).
+
+Maps one :class:`~repro.obs.tracer.Tracer` to the Trace Event Format's
+JSON-object form: ``{"traceEvents": [...], ...}``. Simulated cycles are
+written as microseconds (``ts``/``dur``), so one display microsecond is one
+cycle; ``displayTimeUnit`` is set accordingly and the convention is noted
+in ``otherData``.
+
+Track layout:
+
+* pid 0 holds one thread track per simulated task (stage threads and RA
+  daemons), labeled via ``thread_name`` metadata events and ordered by
+  stage index via ``thread_sort_index``;
+* scheduler spans are complete ("X") events named ``run`` whose args carry
+  the yield reason; stall intervals are nested "X" events named
+  ``stall:<bucket>``; RA loads are "X" events named ``ra_load`` on a
+  separate ``<task>.mem`` track so in-flight loads do not overlap the
+  scheduler spans;
+* queue occupancy samples are counter ("C") events, one counter track per
+  queue (``occupancy:<queue>``).
+
+:func:`validate_chrome_trace` checks the subset of the format this exporter
+emits (it is also what the test suite runs against generated traces).
+"""
+
+import json
+
+#: Category names used by the exporter (handy for trace-viewer filtering).
+CAT_SCHED = "sched"
+CAT_STALL = "stall"
+CAT_QUEUE = "queue"
+CAT_RA = "ra"
+
+_PID = 0
+
+
+def export_chrome_trace(tracer, meta=None):
+    """Render ``tracer`` as a Trace Event Format JSON object (a dict)."""
+    events = []
+    tids = {}
+
+    def tid_of(name):
+        if name not in tids:
+            tid = len(tids)
+            tids[name] = tid
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_sort_index",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
+                }
+            )
+        return tids[name]
+
+    # Register declared tracks first so track order is deterministic and
+    # stage threads come before the ad-hoc .mem tracks.
+    for name in tracer.threads:
+        tid_of(name)
+
+    for thread, t0, t1, reason in tracer.spans:
+        events.append(
+            {
+                "ph": "X",
+                "name": "run",
+                "cat": CAT_SCHED,
+                "pid": _PID,
+                "tid": tid_of(thread),
+                "ts": t0,
+                "dur": t1 - t0,
+                "args": {"yield": str(reason)},
+            }
+        )
+    for thread, bucket, t0, t1 in tracer.stalls:
+        events.append(
+            {
+                "ph": "X",
+                "name": "stall:%s" % bucket,
+                "cat": CAT_STALL,
+                "pid": _PID,
+                "tid": tid_of(thread),
+                "ts": t0,
+                "dur": t1 - t0,
+                "args": {"bucket": bucket},
+            }
+        )
+    for thread, t0, t1 in tracer.ra_loads:
+        events.append(
+            {
+                "ph": "X",
+                "name": "ra_load",
+                "cat": CAT_RA,
+                "pid": _PID,
+                "tid": tid_of(thread + ".mem"),
+                "ts": t0,
+                "dur": t1 - t0,
+                "args": {},
+            }
+        )
+    for label, t, value in tracer.counters:
+        events.append(
+            {
+                "ph": "C",
+                "name": "occupancy:%s" % label,
+                "cat": CAT_QUEUE,
+                "pid": _PID,
+                "tid": 0,
+                "ts": t,
+                "args": {"occupancy": value},
+            }
+        )
+
+    other = {"time_unit": "1 us == 1 simulated cycle"}
+    other.update(tracer.meta)
+    if meta:
+        other.update(meta)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(tracer, path, meta=None):
+    """Export ``tracer`` and write it to ``path`` as JSON."""
+    trace = export_chrome_trace(tracer, meta=meta)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return trace
+
+
+#: Phase types this exporter may emit.
+_KNOWN_PHASES = ("X", "C", "M")
+
+
+def validate_chrome_trace(trace):
+    """Validate the JSON-object Trace Event Format subset we emit.
+
+    Returns the list of problems found (empty when the trace is valid):
+    structural checks on every event, plus the layout guarantees the
+    exporter makes (every non-metadata event's track is named, complete
+    events carry non-negative durations, counter events carry numeric
+    args).
+    """
+    problems = []
+    if not isinstance(trace, dict):
+        return ["top level must be a JSON object (the Trace Event Format dict form)"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+
+    named_tracks = set()
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            if not event.get("args", {}).get("name"):
+                problems.append("thread_name metadata event without args.name")
+            named_tracks.add((event.get("pid"), event.get("tid")))
+
+    for index, event in enumerate(events):
+        where = "event %d" % index
+        if not isinstance(event, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append("%s: unknown phase %r" % (where, ph))
+            continue
+        if not event.get("name"):
+            problems.append("%s: missing name" % where)
+        if not isinstance(event.get("pid"), int) or not isinstance(event.get("tid"), int):
+            problems.append("%s: pid/tid must be integers" % where)
+            continue
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append("%s: ts must be a non-negative number" % where)
+        if (event["pid"], event["tid"]) not in named_tracks and ph == "X":
+            problems.append("%s: slice on unnamed track tid=%r" % (where, event["tid"]))
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append("%s: complete event needs non-negative dur" % where)
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append("%s: counter event needs args" % where)
+            elif not all(isinstance(v, (int, float)) for v in args.values()):
+                problems.append("%s: counter args must be numeric" % where)
+    return problems

@@ -1,0 +1,40 @@
+"""The one diagnostics funnel.
+
+Harness telemetry (wall times, cache hit rates, trace destinations) goes to
+stderr through :func:`log` — never through ad-hoc ``print`` calls — so one
+switch silences all of it: ``--quiet`` on the CLI (:func:`set_quiet`) or
+``REPRO_QUIET=1`` in the environment. Figure *results* stay on stdout and
+are unaffected.
+"""
+
+import os
+import sys
+
+#: Tri-state: None = defer to the REPRO_QUIET environment variable.
+_quiet = None
+
+
+def set_quiet(value):
+    """Force diagnostics on (False) or off (True); None defers to env."""
+    global _quiet
+    _quiet = value
+
+
+def is_quiet():
+    """True when diagnostics are suppressed."""
+    if _quiet is not None:
+        return _quiet
+    return bool(os.environ.get("REPRO_QUIET"))
+
+
+def log(message, *args, **kwargs):
+    """Emit one diagnostic line (printf-style) to stderr unless quiet.
+
+    ``file`` may override the destination (tests capture it); everything
+    else about the message is plain text.
+    """
+    if is_quiet():
+        return
+    if args:
+        message = message % args
+    print(message, file=kwargs.get("file", sys.stderr))

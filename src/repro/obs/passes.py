@@ -1,0 +1,150 @@
+"""Compiler pass instrumentation.
+
+A :class:`PassProfiler` handed to :func:`repro.core.compiler.compile_function`
+records, for every pass in the pipeline (decoupling included), its wall
+time and the IR deltas it caused — statement, queue, stage, and RA counts
+before and after — and can optionally keep full before/after IR snapshots
+(:mod:`repro.ir.printer` text) for diffing what a pass actually did.
+
+The profiler is pure observation: it never alters what the compiler does,
+and ``compile_function(profiler=None)`` (the default) costs nothing.
+"""
+
+import time
+
+from ..ir.printer import format_function, format_pipeline
+from ..ir.stmts import walk
+
+
+def ir_counts(subject):
+    """Size counters for a Function or PipelineProgram."""
+    stages = getattr(subject, "stages", None)
+    if stages is None:
+        return {
+            "stmts": sum(1 for _ in walk(subject.body)),
+            "stages": 1,
+            "queues": 0,
+            "ras": 0,
+        }
+    stmts = sum(1 for stage in stages for _ in walk(stage.body))
+    stmts += sum(
+        1
+        for stage in stages
+        for handler in stage.handlers.values()
+        for _ in walk(handler)
+    )
+    return {
+        "stmts": stmts,
+        "stages": len(stages),
+        "queues": len(subject.queues),
+        "ras": len(subject.ras),
+    }
+
+
+def _snapshot(subject):
+    if getattr(subject, "stages", None) is None:
+        return format_function(subject)
+    return format_pipeline(subject)
+
+
+class PassRecord:
+    """One instrumented pass: timings, IR deltas, optional snapshots."""
+
+    __slots__ = ("name", "wall_s", "before", "after", "ir_before", "ir_after")
+
+    def __init__(self, name, wall_s, before, after, ir_before=None, ir_after=None):
+        self.name = name
+        self.wall_s = wall_s
+        self.before = before
+        self.after = after
+        self.ir_before = ir_before
+        self.ir_after = ir_after
+
+    def delta(self, key):
+        """Signed change a pass made to one counter (e.g. ``"stmts"``)."""
+        return self.after.get(key, 0) - self.before.get(key, 0)
+
+    def as_dict(self):
+        d = {
+            "pass": self.name,
+            "wall_s": self.wall_s,
+            "before": dict(self.before),
+            "after": dict(self.after),
+        }
+        if self.ir_before is not None:
+            d["ir_before"] = self.ir_before
+            d["ir_after"] = self.ir_after
+        return d
+
+    def __repr__(self):
+        return "PassRecord(%s, %.1fms, stmts %+d)" % (
+            self.name,
+            self.wall_s * 1e3,
+            self.delta("stmts"),
+        )
+
+
+class PassProfiler:
+    """Records every pass a compilation runs.
+
+    ``snapshots=True`` additionally keeps the printed IR before and after
+    each pass (costly on big kernels; meant for ``--profile-passes`` style
+    debugging, not for the benchmark hot path).
+    """
+
+    def __init__(self, snapshots=False):
+        self.snapshots = snapshots
+        self.records = []
+
+    def measure(self, name, subject, fn, result_of=None):
+        """Run ``fn()`` as pass ``name`` over ``subject``.
+
+        ``subject`` is measured before and after; a pass that *returns* its
+        result (rather than mutating in place) passes ``result_of`` to pick
+        the object measured afterwards. Returns ``fn()``'s result.
+        """
+        before = ir_counts(subject)
+        ir_before = _snapshot(subject) if self.snapshots else None
+        start = time.perf_counter()
+        result = fn()
+        wall = time.perf_counter() - start
+        measured = result_of(result) if result_of is not None else subject
+        self.records.append(
+            PassRecord(
+                name,
+                wall,
+                before,
+                ir_counts(measured),
+                ir_before,
+                _snapshot(measured) if self.snapshots else None,
+            )
+        )
+        return result
+
+    def as_dicts(self):
+        """Plain-data view (what :mod:`repro.obs.record` embeds)."""
+        return [record.as_dict() for record in self.records]
+
+    def total_wall_s(self):
+        return sum(record.wall_s for record in self.records)
+
+    def render(self):
+        """ASCII table of the recorded passes."""
+        lines = [
+            "%-12s %9s %7s %7s %7s %7s"
+            % ("pass", "wall", "stmts", "stages", "queues", "RAs")
+        ]
+        for r in self.records:
+            lines.append(
+                "%-12s %7.2fms %7s %7s %7s %7s"
+                % (
+                    r.name,
+                    r.wall_s * 1e3,
+                    "%+d" % r.delta("stmts"),
+                    "%+d" % r.delta("stages"),
+                    "%+d" % r.delta("queues"),
+                    "%+d" % r.delta("ras"),
+                )
+            )
+        lines.append("total %.2fms over %d passes" % (self.total_wall_s() * 1e3, len(self.records)))
+        return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Search instrumentation: what the autotuner scored and why the winner won.
+
+The profile-guided search (:mod:`repro.core.autotune`) compiles and
+profiles tens of candidate pipelines and keeps one; without a record of the
+also-rans there is no way to tell whether the winner won comfortably or by
+noise, nor why a candidate dropped out. A :class:`SearchRecorder` captures
+every candidate (scored, compile-rejected, or evaluation-failed) and a
+verdict explaining the selection.
+"""
+
+
+class SearchRecorder:
+    """Records one profile-guided search."""
+
+    def __init__(self):
+        self.candidates = []
+        self.verdict = None
+
+    # -- hooks driven by the search ------------------------------------------
+
+    def scored(self, indices, num_units, speedup):
+        self.candidates.append(
+            {
+                "points": list(indices),
+                "units": num_units,
+                "speedup": speedup,
+                "status": "scored",
+            }
+        )
+
+    def failed(self, indices, stage, error):
+        """A candidate that never produced a score.
+
+        ``stage`` is ``"compile"`` (the transform rejected the combination —
+        alias races, backward control) or ``"evaluate"`` (the simulation
+        raised).
+        """
+        self.candidates.append(
+            {
+                "points": list(indices),
+                "units": None,
+                "speedup": None,
+                "status": "failed:%s" % stage,
+                "error": str(error),
+            }
+        )
+
+    def decide(self, best_indices):
+        """Record the selection verdict once scoring is done."""
+        scored = [c for c in self.candidates if c["status"] == "scored"]
+        if best_indices is None or not scored:
+            self.verdict = {
+                "winner": None,
+                "reason": "no candidate both compiled and evaluated",
+            }
+            return
+        ranked = sorted(scored, key=lambda c: -c["speedup"])
+        winner = next(c for c in ranked if tuple(c["points"]) == tuple(best_indices))
+        runner_up = next(
+            (c for c in ranked if tuple(c["points"]) != tuple(best_indices)), None
+        )
+        margin = (
+            winner["speedup"] - runner_up["speedup"] if runner_up is not None else None
+        )
+        self.verdict = {
+            "winner": list(best_indices),
+            "speedup": winner["speedup"],
+            "units": winner["units"],
+            "runner_up": None if runner_up is None else list(runner_up["points"]),
+            "margin": margin,
+            "reason": "highest gmean training speedup among %d scored candidates"
+            % len(scored),
+        }
+
+    # -- views ---------------------------------------------------------------
+
+    def as_dict(self):
+        return {
+            "candidates": [dict(c) for c in self.candidates],
+            "verdict": None if self.verdict is None else dict(self.verdict),
+        }
+
+    def render(self):
+        """ASCII rendering: every candidate, then the verdict."""
+        lines = ["%-16s %6s %9s  %s" % ("points", "units", "speedup", "status")]
+        for c in self.candidates:
+            lines.append(
+                "%-16s %6s %9s  %s"
+                % (
+                    c["points"],
+                    "-" if c["units"] is None else c["units"],
+                    "-" if c["speedup"] is None else "%.2fx" % c["speedup"],
+                    c["status"] + (": " + c["error"] if "error" in c else ""),
+                )
+            )
+        v = self.verdict
+        if v is not None:
+            if v["winner"] is None:
+                lines.append("verdict: %s" % v["reason"])
+            else:
+                margin = (
+                    "sole scored candidate"
+                    if v["margin"] is None
+                    else "+%.3f over %s" % (v["margin"], v["runner_up"])
+                )
+                lines.append(
+                    "verdict: %s at %.2fx (%s; %s)"
+                    % (v["winner"], v["speedup"], margin, v["reason"])
+                )
+        return "\n".join(lines)

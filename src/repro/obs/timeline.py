@@ -1,0 +1,136 @@
+"""Pure-Python timeline analysis of a traced run.
+
+Answers the questions the aggregate counters cannot: which stage is the
+bottleneck, *when*, and what the worst individual stalls were. Everything
+operates on a finished :class:`~repro.obs.tracer.Tracer`; nothing here
+touches the simulator.
+"""
+
+from .tracer import STALL_BUCKETS
+
+
+def _busy_by_thread(tracer):
+    busy = {}
+    for thread, t0, t1, _reason in tracer.spans:
+        busy[thread] = busy.get(thread, 0.0) + (t1 - t0)
+    return busy
+
+
+def _overlap(a0, a1, b0, b1):
+    lo = a0 if a0 > b0 else b0
+    hi = a1 if a1 < b1 else b1
+    return hi - lo if hi > lo else 0.0
+
+
+def summarize_timeline(tracer, wall=None, windows=8, top_k=10):
+    """Structured summary of one traced run.
+
+    Returns a dict with:
+
+    * ``wall`` — the analysis horizon (given, or the last event cycle);
+    * ``utilization`` — per-thread ``{busy, utilization, stalls}`` where
+      ``busy`` sums scheduler spans, ``utilization`` normalizes by wall,
+      and ``stalls`` breaks attributed stall cycles down by bucket;
+    * ``critical`` — per time window, the stage with the most busy cycles
+      (the bottleneck stage over time: the stage a tuner should shrink);
+    * ``top_stalls`` — the ``top_k`` longest individual stall intervals.
+    """
+    if wall is None:
+        wall = 0.0
+        for _thread, _t0, t1, _reason in tracer.spans:
+            if t1 > wall:
+                wall = t1
+    busy = _busy_by_thread(tracer)
+
+    stalls_by_thread = {}
+    for thread, bucket, t0, t1 in tracer.stalls:
+        buckets = stalls_by_thread.setdefault(
+            thread, {bucket: 0.0 for bucket in STALL_BUCKETS}
+        )
+        buckets[bucket] = buckets.get(bucket, 0.0) + (t1 - t0)
+
+    utilization = {}
+    for thread in tracer.threads or sorted(busy):
+        b = busy.get(thread, 0.0)
+        utilization[thread] = {
+            "busy": b,
+            "utilization": (b / wall) if wall > 0 else 0.0,
+            "stalls": stalls_by_thread.get(
+                thread, {bucket: 0.0 for bucket in STALL_BUCKETS}
+            ),
+        }
+
+    critical = []
+    if wall > 0 and windows > 0:
+        width = wall / windows
+        for w in range(windows):
+            w0, w1 = w * width, (w + 1) * width
+            per_thread = {}
+            for thread, t0, t1, _reason in tracer.spans:
+                amount = _overlap(t0, t1, w0, w1)
+                if amount > 0.0:
+                    per_thread[thread] = per_thread.get(thread, 0.0) + amount
+            if per_thread:
+                # Deterministic argmax: break busy-time ties by name.
+                winner = min(per_thread, key=lambda t: (-per_thread[t], t))
+                critical.append(
+                    {"window": [w0, w1], "stage": winner, "busy": per_thread[winner]}
+                )
+            else:
+                critical.append({"window": [w0, w1], "stage": None, "busy": 0.0})
+
+    ranked = sorted(
+        tracer.stalls, key=lambda s: (-(s[3] - s[2]), s[0], s[1], s[2])
+    )[: max(0, top_k)]
+    top_stalls = [
+        {"thread": thread, "bucket": bucket, "start": t0, "end": t1, "cycles": t1 - t0}
+        for thread, bucket, t0, t1 in ranked
+    ]
+
+    return {
+        "wall": wall,
+        "utilization": utilization,
+        "critical": critical,
+        "top_stalls": top_stalls,
+    }
+
+
+def render_timeline(summary):
+    """ASCII rendering of :func:`summarize_timeline` output."""
+    lines = ["timeline over %.0f cycles" % summary["wall"]]
+    lines.append("")
+    lines.append(
+        "%-26s %10s %6s %10s %10s %10s %10s"
+        % ("thread", "busy", "util", "queue", "mem", "branch", "barrier")
+    )
+    for thread, row in summary["utilization"].items():
+        stalls = row["stalls"]
+        lines.append(
+            "%-26s %10.0f %5.0f%% %10.0f %10.0f %10.0f %10.0f"
+            % (
+                thread,
+                row["busy"],
+                100.0 * row["utilization"],
+                stalls.get("queue", 0.0),
+                stalls.get("mem", 0.0),
+                stalls.get("branch", 0.0),
+                stalls.get("barrier", 0.0),
+            )
+        )
+    if summary["critical"]:
+        lines.append("")
+        lines.append("bottleneck stage by window:")
+        for row in summary["critical"]:
+            lines.append(
+                "  [%10.0f, %10.0f) %-26s busy %.0f"
+                % (row["window"][0], row["window"][1], row["stage"] or "-", row["busy"])
+            )
+    if summary["top_stalls"]:
+        lines.append("")
+        lines.append("top stall intervals:")
+        for row in summary["top_stalls"]:
+            lines.append(
+                "  %-26s %-8s %10.0f cycles at %.0f"
+                % (row["thread"], row["bucket"], row["cycles"], row["start"])
+            )
+    return "\n".join(lines)

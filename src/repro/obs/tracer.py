@@ -1,0 +1,97 @@
+"""Cycle-domain event tracer for the Pipette simulator.
+
+A :class:`Tracer` collects four kinds of events, all timestamped in
+*simulated cycles* (never wall-clock time):
+
+* **spans** — one per scheduler residency of a task: the interval from the
+  cycle a task resumed to the cycle it yielded, plus why it yielded
+  (queue-blocked with the queue id, barrier, or done);
+* **stalls** — the exact intervals the interpreter attributes to the
+  Fig. 10 stall buckets (``queue``/``mem``/``branch``/``barrier``). Each
+  stall's duration is recorded with the *same float arithmetic* the
+  aggregate :class:`~repro.pipette.stats.ThreadStats` counters use, so the
+  per-bucket sums match the counters exactly (tolerance 0);
+* **counters** — queue occupancy samples, one per enqueue/dequeue, on a
+  per-queue counter track;
+* **ra_loads** — individual reference-accelerator loads (issue cycle and
+  completion cycle).
+
+Cost model: the simulator's hot paths carry a single ``tracer is None``
+check; with tracing off no event buffer exists anywhere. The tracer itself
+appends plain tuples (no dict/object churn on the hot path); export and
+analysis happen after the run (:mod:`repro.obs.chrometrace`,
+:mod:`repro.obs.timeline`).
+"""
+
+#: Stall buckets, in the order the summarizer reports them. ``mem`` is the
+#: paper's "backend" bucket; ``branch`` + ``barrier`` make up "other".
+STALL_BUCKETS = ("queue", "mem", "branch", "barrier")
+
+
+class Tracer:
+    """Collects cycle-domain events from one simulation run."""
+
+    __slots__ = ("spans", "stalls", "counters", "ra_loads", "threads", "queues", "meta")
+
+    def __init__(self):
+        self.spans = []  # (thread, t0, t1, yield_reason)
+        self.stalls = []  # (thread, bucket, t0, t1)
+        self.counters = []  # (queue_label, t, occupancy)
+        self.ra_loads = []  # (thread, t0, t1)
+        self.threads = []  # track order: first-seen thread names
+        self.queues = []  # first-seen queue labels
+        self.meta = {}
+
+    # -- registration (once per run, off the hot path) ----------------------
+
+    def register_thread(self, name):
+        """Declare a task track; keeps track order deterministic."""
+        if name not in self.threads:
+            self.threads.append(name)
+
+    def register_queue(self, label):
+        """Declare a queue counter track."""
+        if label not in self.queues:
+            self.queues.append(label)
+
+    # -- hot-path hooks ------------------------------------------------------
+
+    def span(self, thread, t0, t1, reason):
+        """One scheduler residency of ``thread``: [t0, t1], then ``reason``."""
+        self.spans.append((thread, t0, t1, reason))
+
+    def stall(self, thread, bucket, t0, t1):
+        """One attributed stall interval; duration ``t1 - t0`` matches the
+        exact increment applied to the aggregate counter."""
+        self.stalls.append((thread, bucket, t0, t1))
+
+    def counter(self, label, t, value):
+        """One occupancy sample of queue ``label`` at cycle ``t``."""
+        self.counters.append((label, t, value))
+
+    def ra_load(self, thread, t0, t1):
+        """One RA load: issued at ``t0``, completed at ``t1``."""
+        self.ra_loads.append((thread, t0, t1))
+
+    # -- post-run views ------------------------------------------------------
+
+    def __len__(self):
+        return len(self.spans) + len(self.stalls) + len(self.counters) + len(self.ra_loads)
+
+    def stall_totals(self):
+        """``{(thread, bucket): total_cycles}`` summed with plain float
+        addition in recording order — the cross-check against
+        :class:`~repro.pipette.stats.ThreadStats` counters."""
+        totals = {}
+        for thread, bucket, t0, t1 in self.stalls:
+            key = (thread, bucket)
+            totals[key] = totals.get(key, 0.0) + (t1 - t0)
+        return totals
+
+    def __repr__(self):
+        return "Tracer(%d spans, %d stalls, %d counter samples, %d ra loads)" % (
+            len(self.spans),
+            len(self.stalls),
+            len(self.counters),
+            len(self.ra_loads),
+        )

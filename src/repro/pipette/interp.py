@@ -61,9 +61,10 @@ class ThreadCtx:
         "pred",
         "task",
         "config",
+        "tracer",
     )
 
-    def __init__(self, config, core, ledger, mem, stats, task):
+    def __init__(self, config, core, ledger, mem, stats, task, tracer=None):
         self.regs = {}
         self.ready = {}
         self.cursor = 0.0
@@ -78,6 +79,7 @@ class ThreadCtx:
         self.pred = GsharePredictor()
         self.task = task
         self.config = config
+        self.tracer = tracer
 
     # -- timing primitives -------------------------------------------------
 
@@ -100,6 +102,8 @@ class ThreadCtx:
             oldest = rob.popleft()
             if oldest > self.cursor:
                 self.stats.mem_stall += oldest - self.cursor
+                if self.tracer is not None:
+                    self.tracer.stall(self.stats.name, "mem", self.cursor, oldest)
                 self.cursor = oldest
         rob.append(completion)
 
@@ -110,6 +114,8 @@ class ThreadCtx:
             oldest = mshr.popleft()
             if oldest > self.cursor:
                 self.stats.mem_stall += oldest - self.cursor
+                if self.tracer is not None:
+                    self.tracer.stall(self.stats.name, "mem", self.cursor, oldest)
                 self.cursor = oldest
         mshr.append(completion)
 
@@ -288,6 +294,8 @@ class StageInterp:
                     target = resolve + ctx.config.mispredict_penalty
                     ctx.stats.mispredicts += 1
                     ctx.stats.branch_stall += target - ctx.cursor
+                    if ctx.tracer is not None and target > ctx.cursor:
+                        ctx.tracer.stall(ctx.stats.name, "branch", ctx.cursor, target)
                     ctx.cursor = target
                 body2 = stmt.then_body if taken else stmt.else_body
                 if body2:
@@ -428,6 +436,8 @@ class StageInterp:
                 ctx.stats.mispredicts += 1
                 ctx.stats.branch_stall += max(0.0, target - ctx.cursor)
                 if target > ctx.cursor:
+                    if ctx.tracer is not None:
+                        ctx.tracer.stall(ctx.stats.name, "branch", ctx.cursor, target)
                     ctx.cursor = target
             if not taken:
                 break
@@ -485,11 +495,15 @@ class StageInterp:
                 t = queue.try_enq(start if start > ctx.cursor else ctx.cursor, value, extra_latency)
             if t > ctx.cursor:
                 ctx.stats.queue_stall += t - wait_from
+                if ctx.tracer is not None:
+                    ctx.tracer.stall(ctx.stats.name, "queue", wait_from, t)
                 ctx.cursor = t
         elif t > start:
             # A slot existed only in the future (the capacity-ago entry is
             # dequeued later): the queue is effectively full now.
             ctx.stats.queue_stall += t - ctx.cursor
+            if ctx.tracer is not None:
+                ctx.tracer.stall(ctx.stats.name, "queue", ctx.cursor, t)
             ctx.cursor = t
         ctx.stats.queue_ops += 1
         self.env.stats.queue_enqs += 1
@@ -515,6 +529,8 @@ class StageInterp:
             value, t = res
             if t > ctx.cursor:
                 ctx.stats.queue_stall += max(0.0, t - wait_from)
+                if ctx.tracer is not None and t > wait_from:
+                    ctx.tracer.stall(ctx.stats.name, "queue", wait_from, t)
                 ctx.cursor = t
         else:
             value, t = res
@@ -557,6 +573,8 @@ class StageInterp:
             value, t = res
             if t > ctx.cursor:
                 ctx.stats.queue_stall += max(0.0, t - wait_from)
+                if ctx.tracer is not None and t > wait_from:
+                    ctx.tracer.stall(ctx.stats.name, "queue", wait_from, t)
                 ctx.cursor = t
         else:
             value, t = res
@@ -575,4 +593,6 @@ class StageInterp:
             release = barrier.last_release
         if release > ctx.cursor:
             ctx.stats.barrier_stall += release - ctx.cursor
+            if ctx.tracer is not None:
+                ctx.tracer.stall(ctx.stats.name, "barrier", ctx.cursor, release)
             ctx.cursor = release

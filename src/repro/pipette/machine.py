@@ -104,13 +104,20 @@ class SimResult:
 
 
 class Machine:
-    """A Pipette multicore machine ready to run pipeline programs."""
+    """A Pipette multicore machine ready to run pipeline programs.
 
-    def __init__(self, config):
+    ``tracer`` (a :class:`~repro.obs.tracer.Tracer`) opts the whole run into
+    cycle-domain event tracing: scheduler spans, stall intervals, queue
+    occupancy samples, and RA loads. With the default ``None`` no event
+    buffer exists and the simulation is unchanged.
+    """
+
+    def __init__(self, config, tracer=None):
         self.config = config
         self.stats = None
         self.mem = None
         self.envs = []
+        self.tracer = tracer
 
     def run(self, specs, barrier_cost=30.0):
         """Run the given :class:`RunSpec` list to completion.
@@ -127,7 +134,8 @@ class Machine:
         self.mem = MemorySystem(config, stats)
         addr_map = AddressMap()
         ledgers = [IssueLedger(config.issue_width) for _ in range(config.cores)]
-        scheduler = Scheduler()
+        tracer = self.tracer
+        scheduler = Scheduler(tracer=tracer)
         self.envs = []
 
         threads_per_core = [0] * config.cores
@@ -168,7 +176,13 @@ class Machine:
                     cons_core = spec.core_of_stage(q.consumer[1])
                 if prod_core != cons_core:
                     latency = config.xcore_queue_latency
-                env.queues[q.qid] = HWQueue(q.qid, q.capacity, latency)
+                env.queues[q.qid] = HWQueue(
+                    q.qid,
+                    q.capacity,
+                    latency,
+                    tracer=tracer,
+                    label="r%d.q%d" % (replica, q.qid),
+                )
 
             for stage in pipeline.stages:
                 core = spec.core_of_stage(stage.index)
@@ -178,7 +192,7 @@ class Machine:
                 name = "r%d.s%d.%s" % (replica, stage.index, stage.name)
                 task = Task(name)
                 tstats = stats.new_thread(name)
-                ctx = ThreadCtx(config, core, ledgers[core], self.mem, tstats, task)
+                ctx = ThreadCtx(config, core, ledgers[core], self.mem, tstats, task, tracer=tracer)
                 for pname, value in spec.scalars.items():
                     ctx.regs[pname] = value
                 missing = [p for p in pipeline.scalar_params if p not in spec.scalars]
@@ -211,4 +225,9 @@ class Machine:
 
         wall = max((ctx.stats.end_cycle for _, ctx in stage_tasks), default=0.0)
         stats.wall_cycles = wall
+        for replica, env in enumerate(self.envs):
+            for qid in sorted(env.queues):
+                stats.register_queue("r%d.q%d" % (replica, qid), env.queues[qid])
+        if tracer is not None:
+            tracer.meta.setdefault("wall_cycles", wall)
         return SimResult(wall, stats, self.envs)

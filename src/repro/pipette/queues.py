@@ -29,9 +29,11 @@ class HWQueue:
         "full_blocks",
         "empty_blocks",
         "producer_done",
+        "tracer",
+        "label",
     )
 
-    def __init__(self, qid, capacity, latency):
+    def __init__(self, qid, capacity, latency, tracer=None, label=None):
         self.qid = qid
         self.capacity = capacity
         self.latency = latency
@@ -45,6 +47,10 @@ class HWQueue:
         self.full_blocks = 0
         self.empty_blocks = 0
         self.producer_done = False
+        self.tracer = tracer
+        self.label = label if label is not None else "q%d" % qid
+        if tracer is not None:
+            tracer.register_queue(self.label)
 
     def try_enq(self, now, value, extra_latency=0.0):
         """Attempt an enqueue at cycle ``now``.
@@ -61,6 +67,8 @@ class HWQueue:
         self.total_enqs += 1
         if len(self.entries) > self.max_occupancy:
             self.max_occupancy = len(self.entries)
+        if self.tracer is not None:
+            self.tracer.counter(self.label, t, len(self.entries))
         if self.waiting_consumers:
             waiters, self.waiting_consumers = self.waiting_consumers, []
             for task in waiters:
@@ -79,6 +87,8 @@ class HWQueue:
         t = avail if avail > now else now
         self.slot_free.append(t)
         self.total_deqs += 1
+        if self.tracer is not None:
+            self.tracer.counter(self.label, t, len(self.entries))
         if self.waiting_producers:
             waiters, self.waiting_producers = self.waiting_producers, []
             for task in waiters:

@@ -35,6 +35,7 @@ class RAEngine:
         self.clock = 0.0
         self.inflight = deque()  # completion times of outstanding loads
         self.last_delivery = 0.0
+        self.tracer = env.machine.tracer
 
     # -- blocking queue helpers (RA-side) ----------------------------------
 
@@ -80,6 +81,8 @@ class RAEngine:
         addr = binding.base + index * binding.elem_size
         latency = self.env.machine.mem.access(self.env.core, addr, start, stream_id=binding.name)
         completion = start + latency
+        if self.tracer is not None:
+            self.tracer.ra_load(self.task.name, start, completion)
         self.inflight.append(completion)
         self.clock += 1  # one engine slot per accepted request
         try:

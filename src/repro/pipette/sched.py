@@ -113,17 +113,26 @@ class SharedCells:
 
 
 class Scheduler:
-    """Runs tasks to completion; min-local-time scheduling with wakeups."""
+    """Runs tasks to completion; min-local-time scheduling with wakeups.
 
-    def __init__(self):
+    With a :class:`~repro.obs.tracer.Tracer` attached, every residency of a
+    task (resume cycle to yield cycle, with the blocking reason) is
+    recorded as a span on that task's track; tracing off costs one ``is
+    None`` check per resume.
+    """
+
+    def __init__(self, tracer=None):
         self.tasks = []
         self._heap = []
         self._counter = 0
+        self.tracer = tracer
 
     def add(self, task, gen):
         task.gen = gen
         task._sched = self
         self.tasks.append(task)
+        if self.tracer is not None:
+            self.tracer.register_thread(task.name)
         self._push(task)
 
     def _push(self, task):
@@ -133,6 +142,7 @@ class Scheduler:
     def run(self, max_resumes=200_000_000):
         pending = sum(1 for t in self.tasks if not t.daemon)
         resumes = 0
+        tracer = self.tracer
         while pending > 0:
             task = self._pop_runnable()
             if task is None:
@@ -140,16 +150,23 @@ class Scheduler:
             resumes += 1
             if resumes > max_resumes:
                 raise DeadlockError("simulation exceeded %d task resumes; likely livelock" % max_resumes)
+            if tracer is not None:
+                resumed_at = task.time
             try:
                 task.gen.send(None)
             except StopIteration:
                 task.done = True
                 task.runnable = False
+                if tracer is not None:
+                    tracer.span(task.name, resumed_at, task.time, "done")
                 if not task.daemon:
                     pending -= 1
             else:
                 # The generator yielded BLOCKED; it has already registered
                 # itself as a waiter (queue list or barrier) before yielding.
+                if tracer is not None:
+                    reason = "preempted" if task.runnable else task.blocked_on
+                    tracer.span(task.name, resumed_at, task.time, reason)
                 if task.runnable:
                     # Woken while blocking (enq/deq raced with wake): rerun.
                     self._push(task)

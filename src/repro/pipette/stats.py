@@ -51,13 +51,32 @@ class ThreadStats:
         The measured stalls are subtracted from total thread time; the
         residual is time the thread was actively issuing (including issue
         bandwidth contention), which is the paper's "issuing micro-ops".
+
+        The "other" bucket is additionally decomposed into its ``branch``
+        and ``barrier`` parts (scaled proportionally when clamping hit), so
+        ``other == branch + barrier`` up to float rounding. The four
+        primary buckets partition the thread's total time; the sub-buckets
+        are informational and must not be double-counted into totals.
         """
         total = self.total_cycles
         mem = min(self.mem_stall, total)
         queue = min(self.queue_stall, max(0.0, total - mem))
-        other = min(self.branch_stall + self.barrier_stall, max(0.0, total - mem - queue))
+        other_raw = self.branch_stall + self.barrier_stall
+        other = min(other_raw, max(0.0, total - mem - queue))
         issue = max(0.0, total - mem - queue - other)
-        return {"issue": issue, "backend": mem, "queue": queue, "other": other}
+        if other_raw > 0.0:
+            branch = other * (self.branch_stall / other_raw)
+            barrier = other - branch
+        else:
+            branch = barrier = 0.0
+        return {
+            "issue": issue,
+            "backend": mem,
+            "queue": queue,
+            "other": other,
+            "branch": branch,
+            "barrier": barrier,
+        }
 
 
 class CacheStats:
@@ -88,11 +107,24 @@ class SimStats:
         self.queue_deqs = 0
         self.ctrl_values = 0
         self.wall_cycles = 0.0
+        self.queues = {}
 
     def new_thread(self, name):
         ts = ThreadStats(name)
         self.threads.append(ts)
         return ts
+
+    def register_queue(self, label, queue):
+        """Record one finished :class:`~repro.pipette.queues.HWQueue`'s
+        traffic counters under ``label`` (e.g. ``"r0.q3"``)."""
+        self.queues[label] = {
+            "enqs": queue.total_enqs,
+            "deqs": queue.total_deqs,
+            "max_occupancy": queue.max_occupancy,
+            "capacity": queue.capacity,
+            "full_blocks": queue.full_blocks,
+            "empty_blocks": queue.empty_blocks,
+        }
 
     def cache(self, name):
         if name not in self.cache_levels:
@@ -114,11 +146,20 @@ class SimStats:
         run's wall time, giving a per-run bar comparable across variants
         once normalized to the serial baseline.
         """
-        sums = {"issue": 0.0, "backend": 0.0, "queue": 0.0, "other": 0.0}
+        sums = {
+            "issue": 0.0,
+            "backend": 0.0,
+            "queue": 0.0,
+            "other": 0.0,
+            "branch": 0.0,
+            "barrier": 0.0,
+        }
         for t in self.threads:
             for key, value in t.breakdown().items():
                 sums[key] += value
-        total = sum(sums.values())
+        # The four primary buckets partition each thread's time; "branch"
+        # and "barrier" only decompose "other" and stay out of the total.
+        total = sums["issue"] + sums["backend"] + sums["queue"] + sums["other"]
         if total <= 0:
             return {k: 0.0 for k in sums}
         scale = self.wall_cycles / total
@@ -132,6 +173,11 @@ class SimStats:
             "mispredicts": sum(t.mispredicts for t in self.threads),
             "queue_stall": sum(t.queue_stall for t in self.threads),
             "mem_stall": sum(t.mem_stall for t in self.threads),
+            "branch_stall": sum(t.branch_stall for t in self.threads),
+            "barrier_stall": sum(t.barrier_stall for t in self.threads),
             "dram_accesses": self.dram_accesses,
             "ra_loads": self.ra_loads,
+            "queue_enqs": self.queue_enqs,
+            "queue_deqs": self.queue_deqs,
+            "queues": {label: dict(row) for label, row in self.queues.items()},
         }

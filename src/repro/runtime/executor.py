@@ -37,11 +37,15 @@ def _copy_arrays(arrays):
     return {name: list(data) for name, data in arrays.items()}
 
 
-def run_pipeline(pipeline, arrays, scalars, config=None, core=0, stage_cores=None, copy=True):
-    """Run one pipeline program; returns a :class:`RunResult`."""
+def run_pipeline(pipeline, arrays, scalars, config=None, core=0, stage_cores=None, copy=True, tracer=None):
+    """Run one pipeline program; returns a :class:`RunResult`.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) opts into cycle-domain event
+    tracing; the default ``None`` keeps the run trace-free and unchanged.
+    """
     config = config or MachineConfig()
     bound = _copy_arrays(arrays) if copy else arrays
-    machine = Machine(config)
+    machine = Machine(config, tracer=tracer)
     spec = RunSpec(pipeline, bound, scalars, core=core, stage_cores=stage_cores)
     sim = machine.run(spec)
     cores_used = 1 if stage_cores is None else len(set(stage_cores))
@@ -50,12 +54,14 @@ def run_pipeline(pipeline, arrays, scalars, config=None, core=0, stage_cores=Non
     )
 
 
-def run_serial(function, arrays, scalars, config=None, copy=True):
+def run_serial(function, arrays, scalars, config=None, copy=True, tracer=None):
     """Run a serial Function as a single-stage pipeline."""
-    return run_pipeline(serial_pipeline(function), arrays, scalars, config=config, copy=copy)
+    return run_pipeline(
+        serial_pipeline(function), arrays, scalars, config=config, copy=copy, tracer=tracer
+    )
 
 
-def run_replicated(pipelines_and_envs, config, copy=True):
+def run_replicated(pipelines_and_envs, config, copy=True, tracer=None):
     """Run several pipeline instances concurrently (replication, Fig. 14).
 
     ``pipelines_and_envs`` is a list of ``(pipeline, arrays, scalars, core)``
@@ -63,7 +69,7 @@ def run_replicated(pipelines_and_envs, config, copy=True):
     shared data structures; when ``copy`` is set, identical objects are
     copied once and stay shared.
     """
-    machine = Machine(config)
+    machine = Machine(config, tracer=tracer)
     specs = []
     copies = {}
     for pipeline, arrays, scalars, core in pipelines_and_envs:

@@ -1,0 +1,48 @@
+"""The diagnostics funnel: one switch silences all telemetry."""
+
+import io
+
+import pytest
+
+from repro.obs import is_quiet, log, set_quiet
+
+
+@pytest.fixture(autouse=True)
+def _reset_quiet(monkeypatch):
+    monkeypatch.delenv("REPRO_QUIET", raising=False)
+    set_quiet(None)
+    yield
+    set_quiet(None)
+
+
+def test_log_formats_to_stderr_by_default(capsys):
+    log("ran %d jobs in %.1fs", 3, 2.0)
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err == "ran 3 jobs in 2.0s\n"
+
+
+def test_set_quiet_silences_everything():
+    set_quiet(True)
+    sink = io.StringIO()
+    log("should not appear", file=sink)
+    assert sink.getvalue() == ""
+    assert is_quiet()
+
+
+def test_env_var_quiets_unless_overridden(monkeypatch):
+    monkeypatch.setenv("REPRO_QUIET", "1")
+    assert is_quiet()
+    sink = io.StringIO()
+    log("suppressed", file=sink)
+    assert sink.getvalue() == ""
+    # An explicit False beats the environment.
+    set_quiet(False)
+    assert not is_quiet()
+    log("visible", file=sink)
+    assert sink.getvalue() == "visible\n"
+
+
+def test_log_without_args_passes_literal_percent(capsys):
+    log("100% done")
+    assert capsys.readouterr().err == "100% done\n"

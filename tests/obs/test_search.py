@@ -1,0 +1,66 @@
+"""Search recorder: candidates, failures, and the selection verdict."""
+
+from repro.bench.harness import adapter_for
+from repro.core.autotune import search_pipelines
+from repro.errors import CompileError
+from repro.obs import SearchRecorder
+
+
+def test_recorder_mirrors_a_real_search():
+    adapter = adapter_for("bfs")
+    recorder = SearchRecorder()
+
+    def evaluate(pipeline):
+        # Cheap deterministic stand-in for profiling: prefer more units.
+        return float(pipeline.num_units)
+
+    best, results = search_pipelines(
+        adapter.function(), evaluate, max_stages=3, top_k=3, recorder=recorder
+    )
+    scored = [c for c in recorder.candidates if c["status"] == "scored"]
+    assert len(scored) == len(results)
+    assert {tuple(c["points"]) for c in scored} == {r.indices for r in results}
+    assert recorder.verdict is not None
+    assert tuple(recorder.verdict["winner"]) == best.indices
+    assert recorder.verdict["speedup"] == best.speedup
+
+
+def test_recorder_captures_evaluation_failures():
+    adapter = adapter_for("bfs")
+    recorder = SearchRecorder()
+
+    def evaluate(pipeline):
+        raise CompileError("boom")
+
+    best, results = search_pipelines(
+        adapter.function(), evaluate, max_stages=2, top_k=2, recorder=recorder
+    )
+    assert best is None and results == []
+    failed = [c for c in recorder.candidates if c["status"] == "failed:evaluate"]
+    assert failed and all(c["error"] == "boom" for c in failed)
+    assert recorder.verdict["winner"] is None
+
+
+def test_verdict_margin_and_render():
+    recorder = SearchRecorder()
+    recorder.scored((0,), 3, 2.0)
+    recorder.scored((1,), 4, 3.0)
+    recorder.failed((0, 1), "compile", "not splittable")
+    recorder.decide((1,))
+    v = recorder.verdict
+    assert v["winner"] == [1]
+    assert v["runner_up"] == [0]
+    assert v["margin"] == 1.0
+    d = recorder.as_dict()
+    assert len(d["candidates"]) == 3
+    text = recorder.render()
+    assert "failed:compile" in text
+    assert "verdict:" in text
+
+
+def test_sole_candidate_has_no_margin():
+    recorder = SearchRecorder()
+    recorder.scored((2,), 2, 1.5)
+    recorder.decide((2,))
+    assert recorder.verdict["margin"] is None
+    assert "sole scored candidate" in recorder.render()

@@ -1,0 +1,67 @@
+"""Timeline summarizer over hand-built traces."""
+
+import pytest
+
+from repro.obs import Tracer, render_timeline, summarize_timeline
+
+
+def _toy_tracer():
+    tr = Tracer()
+    tr.register_thread("s0")
+    tr.register_thread("s1")
+    # s0 busy the whole run; s1 busy only in the second half.
+    tr.span("s0", 0.0, 50.0, ("deq", 0))
+    tr.span("s0", 50.0, 100.0, "done")
+    tr.span("s1", 50.0, 100.0, "done")
+    tr.stall("s0", "queue", 10.0, 30.0)
+    tr.stall("s1", "mem", 60.0, 65.0)
+    tr.stall("s1", "mem", 70.0, 80.0)
+    return tr
+
+
+def test_utilization_and_stall_buckets():
+    s = summarize_timeline(_toy_tracer(), windows=2)
+    assert s["wall"] == 100.0
+    assert s["utilization"]["s0"]["busy"] == 100.0
+    assert s["utilization"]["s0"]["utilization"] == pytest.approx(1.0)
+    assert s["utilization"]["s1"]["utilization"] == pytest.approx(0.5)
+    assert s["utilization"]["s0"]["stalls"]["queue"] == 20.0
+    assert s["utilization"]["s1"]["stalls"]["mem"] == 15.0
+    assert s["utilization"]["s1"]["stalls"]["queue"] == 0.0
+
+
+def test_bottleneck_windows():
+    s = summarize_timeline(_toy_tracer(), windows=2)
+    assert [row["stage"] for row in s["critical"]] == ["s0", "s0"]
+    # First window: only s0 runs. Second window: both run 50 cycles and the
+    # tie breaks deterministically by name.
+    assert s["critical"][0]["busy"] == 50.0
+    assert s["critical"][1]["busy"] == 50.0
+
+
+def test_top_stalls_ranked_by_duration():
+    s = summarize_timeline(_toy_tracer(), top_k=2)
+    assert [row["cycles"] for row in s["top_stalls"]] == [20.0, 10.0]
+    assert s["top_stalls"][0]["thread"] == "s0"
+
+
+def test_explicit_wall_overrides_inferred():
+    s = summarize_timeline(_toy_tracer(), wall=200.0, windows=1)
+    assert s["wall"] == 200.0
+    assert s["utilization"]["s0"]["utilization"] == pytest.approx(0.5)
+
+
+def test_empty_tracer_is_fine():
+    s = summarize_timeline(Tracer())
+    assert s["wall"] == 0.0
+    assert s["utilization"] == {}
+    assert s["critical"] == []
+    assert s["top_stalls"] == []
+    assert "timeline over" in render_timeline(s)
+
+
+def test_render_mentions_threads_and_buckets():
+    text = render_timeline(summarize_timeline(_toy_tracer()))
+    assert "s0" in text and "s1" in text
+    assert "bottleneck stage by window:" in text
+    assert "top stall intervals:" in text

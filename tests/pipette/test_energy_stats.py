@@ -65,7 +65,22 @@ class TestThreadBreakdown:
         assert b["queue"] == 20.0
         assert b["other"] == 10.0
         assert b["issue"] == 40.0
-        assert sum(b.values()) == pytest.approx(100.0)
+        # branch/barrier decompose "other"; they are not extra components.
+        assert b["branch"] == 10.0
+        assert b["barrier"] == 0.0
+        primary = b["issue"] + b["backend"] + b["queue"] + b["other"]
+        assert primary == pytest.approx(100.0)
+
+    def test_other_decomposition_sums_to_other(self):
+        t = ThreadStats("t")
+        t.start_cycle, t.end_cycle = 0.0, 100.0
+        t.branch_stall = 12.0
+        t.barrier_stall = 8.0
+        b = t.breakdown()
+        assert b["other"] == pytest.approx(20.0)
+        assert b["branch"] + b["barrier"] == pytest.approx(b["other"])
+        assert b["branch"] == pytest.approx(12.0)
+        assert b["barrier"] == pytest.approx(8.0)
 
     def test_overbooked_stalls_clamped(self):
         t = ThreadStats("t")
@@ -74,7 +89,8 @@ class TestThreadBreakdown:
         b = t.breakdown()
         assert b["backend"] == 50.0
         assert b["issue"] == 0.0
-        assert sum(b.values()) == pytest.approx(50.0)
+        primary = b["issue"] + b["backend"] + b["queue"] + b["other"]
+        assert primary == pytest.approx(50.0)
 
 
 def test_sim_breakdown_rescales_to_wall():
@@ -85,7 +101,8 @@ def test_sim_breakdown_rescales_to_wall():
         t.queue_stall = 50.0
     stats.wall_cycles = 100.0
     b = stats.cycle_breakdown()
-    assert sum(b.values()) == pytest.approx(100.0)
+    primary = b["issue"] + b["backend"] + b["queue"] + b["other"]
+    assert primary == pytest.approx(100.0)
     assert b["queue"] == pytest.approx(50.0)
 
 

@@ -30,7 +30,7 @@ def test_result_carries_stats_and_energy(tiny_config):
     assert result.cycles > 0
     assert result.energy().total > 0
     breakdown = result.breakdown()
-    assert set(breakdown) == {"issue", "backend", "queue", "other"}
+    assert set(breakdown) == {"issue", "backend", "queue", "other", "branch", "barrier"}
 
 
 def test_stage_cores_passthrough(tiny_config):

@@ -97,3 +97,100 @@ def test_figures_fig6_smoke(tmp_path):
     assert proc.returncode == 0, proc.stderr
     assert "Fig. 6" in proc.stdout
     assert "cache" in proc.stderr  # telemetry lands on stderr, not stdout
+
+
+# ---------------------------------------------------------------------------
+# Observability surface: trace / metrics / --quiet
+
+
+import json
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_quiet():
+    """--quiet flags set a process-global; keep tests independent."""
+    yield
+    obs.set_quiet(None)
+
+
+def test_trace_writes_valid_chrome_trace_and_metrics(tmp_path, capsys):
+    trace_path = tmp_path / "t.json"
+    metrics_path = tmp_path / "m.jsonl"
+    rc = main(
+        [
+            "trace", "bfs", "--size", "300",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+            "--profile-passes",
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "timeline over" in captured.out
+    assert "bottleneck stage by window:" in captured.out
+    assert "decouple" in captured.out  # the pass table
+    assert "perfetto" in captured.err  # telemetry, silenceable
+
+    trace = json.loads(trace_path.read_text())
+    assert obs.validate_chrome_trace(trace) == []
+    assert trace["otherData"]["bench"] == "bfs"
+
+    records = obs.read_jsonl(str(metrics_path))
+    assert [r["variant"] for r in records] == ["serial", "phloem-static"]
+    assert all(r["schema"] == obs.RECORD_SCHEMA for r in records)
+    assert "passes" in records[1]
+
+
+def test_trace_quiet_silences_stderr(tmp_path, capsys):
+    rc = main(["trace", "bfs", "--size", "300", "--quiet",
+               "--trace-out", str(tmp_path / "t.json")])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "timeline over" in captured.out  # results stay on stdout
+    assert captured.err == ""
+
+
+def test_metrics_emits_jsonl_on_stdout(capsys):
+    rc = main(["metrics", "bfs", "--size", "300", "--quiet"])
+    assert rc == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert {r["variant"] for r in records} == {
+        "serial", "data-parallel", "phloem-static", "manual"
+    }
+    assert all(r["ok"] for r in records)
+    assert all("summary" in r for r in records)
+
+
+def test_figures_metrics_out_from_suites(tmp_path, capsys):
+    """--metrics-out captures RunRecords for the suites a run computed."""
+    from repro.bench import experiments
+    from repro.bench.harness import adapter_for, run_suite
+    from repro.pipette.config import SCALED_1CORE
+    from repro.workloads.datasets import GraphInput
+    from repro.workloads.graphs import uniform_random
+
+    item = GraphInput("tiny", "synthetic", lambda: uniform_random(200, 4, seed=2))
+    suite = run_suite(
+        adapter_for("bfs"), [item], [], config=SCALED_1CORE,
+        variants=("serial", "phloem-static"),
+    )
+    old = dict(experiments._SUITES)
+    experiments._SUITES.clear()
+    experiments._SUITES["bfs"] = suite
+    try:
+        path = tmp_path / "runs.jsonl"
+        rc = main(["figures", "fig10", "--quiet", "--metrics-out", str(path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "Fig. 10" in captured.out
+        assert captured.err == ""  # --quiet silences the telemetry
+        records = obs.read_jsonl(str(path))
+        assert {(r["bench"], r["variant"]) for r in records} == {
+            ("bfs", "serial"), ("bfs", "phloem-static")
+        }
+    finally:
+        experiments._SUITES.clear()
+        experiments._SUITES.update(old)
