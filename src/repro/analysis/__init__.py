@@ -5,6 +5,12 @@ from .alias import AliasInfo, access_class
 from .costmodel import DecouplePoint, rank_decouple_points
 from .defs import DefUse, pure_regs
 from .loops import LoopNestInfo, estimated_trip_weight, find_phase_loop
+from .sanitize import (
+    classify_cross_stage,
+    lint_source,
+    sanitize_function,
+    sanitize_pipeline,
+)
 from .slicing import backward_slice
 
 __all__ = [
@@ -23,5 +29,9 @@ __all__ = [
     "LoopNestInfo",
     "estimated_trip_weight",
     "find_phase_loop",
+    "classify_cross_stage",
+    "lint_source",
+    "sanitize_function",
+    "sanitize_pipeline",
     "backward_slice",
 ]

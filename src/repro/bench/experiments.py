@@ -13,7 +13,7 @@ compilation flow.
 
 from .. import cache
 from ..core.autotune import gmean, speedup_distribution
-from ..core.compiler import ALL_PASSES, CompileOptions, pipeline_summary
+from ..core.compiler import ALL_PASSES, CompileOptions
 from ..frontend.lowering import compile_source
 from ..pipette.config import SCALED_1CORE
 from ..runtime.executor import run_pipeline
@@ -31,7 +31,6 @@ from .harness import (
     gmean_speedup,
     normalized_breakdowns,
     normalized_energy,
-    profile_guided_pipeline,
     run_suite,
 )
 from .parallel import Job, run_jobs

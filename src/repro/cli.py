@@ -4,6 +4,9 @@ Commands mirror how the paper's artifact would be driven:
 
 * ``emit FILE.c`` — run the Phloem compiler on a mini-C kernel and print
   the pipeline (pseudo-C, IR, or a one-line summary);
+* ``lint [FILE.c | --bench NAME|all]`` — run the static pipeline-safety
+  analyzer (:mod:`repro.analysis.sanitize`) and print coded diagnostics
+  (``PHL...``); exits non-zero when any error-severity finding exists;
 * ``demo BENCH`` — run one benchmark (bfs/cc/prd/radii/spmm) on a synthetic
   input, comparing serial / data-parallel / Phloem / manual;
 * ``search BENCH`` — run the profile-guided pipeline search and print the
@@ -34,7 +37,10 @@ def _cmd_emit(args):
     function = compile_source(source, name=args.name)
     passes = ALL_PASSES if args.passes is None else tuple(args.passes.split(","))
     passes = tuple(p for p in passes if p)
-    pipeline = compile_function(function, num_stages=args.stages, passes=passes)
+    options = CompileOptions(
+        num_stages=args.stages, passes=passes, verify_each=args.verify_each
+    )
+    pipeline = compile_function(function, options=options)
     if args.format == "summary":
         print(pipeline_summary(pipeline))
     elif args.format == "ir":
@@ -46,6 +52,60 @@ def _cmd_emit(args):
     else:
         print(emit_pipeline(pipeline))
     return 0
+
+
+def _cmd_lint(args):
+    import json
+
+    from .analysis.sanitize import lint_source
+
+    targets = []
+    if args.bench is not None:
+        from .workloads import ALL_BENCHMARKS
+
+        if args.bench != "all" and args.bench not in ALL_BENCHMARKS:
+            print(
+                "unknown benchmark %r (choose from %s, all)"
+                % (args.bench, ", ".join(sorted(ALL_BENCHMARKS)))
+            )
+            return 2
+        names = sorted(ALL_BENCHMARKS) if args.bench == "all" else [args.bench]
+        for bench in names:
+            targets.append((bench, ALL_BENCHMARKS[bench].SOURCE, None, None))
+    if args.file is not None:
+        with open(args.file) as handle:
+            targets.append((args.file, handle.read(), args.name, args.file))
+    if not targets:
+        print("lint: give a FILE.c, --bench NAME, or --bench all")
+        return 2
+
+    passes = ALL_PASSES if args.passes is None else tuple(p for p in args.passes.split(",") if p)
+    options = CompileOptions(
+        num_stages=args.stages, passes=passes, verify_each=args.verify_each
+    )
+    failed = False
+    reports = []
+    for label, source, name, path in targets:
+        diags = lint_source(source, name=name, options=options, file=path)
+        failed = failed or diags.has_errors
+        if args.json:
+            reports.append(
+                {
+                    "target": label,
+                    "diagnostics": [d.as_dict() for d in diags.sorted()],
+                    "errors": len(diags.errors()),
+                    "warnings": len(diags.warnings()),
+                }
+            )
+        elif len(diags) == 0:
+            print("%s: clean" % label)
+        else:
+            print("%s:" % label)
+            for line in diags.render_text().splitlines():
+                print("  " + line)
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+    return 1 if failed else 0
 
 
 #: The variants `demo` runs and prints, in order (all use the unified
@@ -294,7 +354,29 @@ def build_parser():
     emit.add_argument("--stages", type=int, default=4)
     emit.add_argument("--passes", default=None, help="comma-separated pass subset")
     emit.add_argument("--format", choices=("c", "ir", "summary", "diagram"), default="c")
+    emit.add_argument(
+        "--verify-each", action="store_true",
+        help="re-verify the IR and re-run the safety analyzer after every pass",
+    )
     emit.set_defaults(func=_cmd_emit)
+
+    lint = sub.add_parser(
+        "lint", help="run the static pipeline-safety analyzer on a kernel"
+    )
+    lint.add_argument("file", nargs="?", default=None, metavar="FILE.c")
+    lint.add_argument("--name", default=None, help="kernel name if the file has several")
+    lint.add_argument(
+        "--bench", default=None, metavar="NAME",
+        help="lint a shipped benchmark kernel instead of a file ('all' sweeps every one)",
+    )
+    lint.add_argument("--stages", type=int, default=4)
+    lint.add_argument("--passes", default=None, help="comma-separated pass subset")
+    lint.add_argument(
+        "--verify-each", action="store_true",
+        help="also verify after every compiler pass, not just the final pipeline",
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable diagnostics")
+    lint.set_defaults(func=_cmd_lint)
 
     demo = sub.add_parser("demo", help="run one benchmark across all variants")
     demo.add_argument("bench", choices=("bfs", "cc", "prd", "radii", "spmm"))

@@ -18,10 +18,12 @@ so the Fig. 6 ablation can reproduce each intermediate configuration.
 import dataclasses
 from dataclasses import dataclass
 
+from ..analysis.sanitize import sanitize_pipeline
 from ..errors import CompileError
 from ..frontend.lowering import compile_source
 from ..ir.stmts import walk
 from ..ir.verifier import verify_pipeline
+from ..obs import log
 from .accelerate import apply_reference_accelerators
 from .cleanup import cleanup_stage
 from .ctrl import apply_control_handlers, apply_control_values, apply_interstage_dce
@@ -51,6 +53,11 @@ class CompileOptions:
     queue_capacity: int = 24
     max_queues: int = 16
     point_indices: tuple = None
+    #: Re-run the IR verifier and the static safety analyzer after every
+    #: pass (LLVM's -verify-each). Deliberately NOT part of cache_key():
+    #: verification never changes the compiled pipeline, so a verified and
+    #: an unverified compile must share cache entries.
+    verify_each: bool = False
 
     def __post_init__(self):
         object.__setattr__(self, "passes", tuple(self.passes))
@@ -168,6 +175,15 @@ def compile_function(
     else:
         run = profiler.measure
 
+    def checkpoint(after):
+        """--verify-each: structural + safety verification between passes."""
+        if not options.verify_each:
+            return
+        verify_pipeline(pipeline)
+        sanitize_pipeline(pipeline).raise_if_errors(
+            "static analysis failed after pass '%s'" % after
+        )
+
     pipeline, _points = run(
         "decouple",
         function,
@@ -181,14 +197,20 @@ def compile_function(
         result_of=lambda r: r[0],
     )
 
+    checkpoint("decouple")
+
     if "recompute" in passes:
         run("recompute", pipeline, lambda: apply_recompute(pipeline))
+        checkpoint("recompute")
     if "cv" in passes:
         run("cv", pipeline, lambda: apply_control_values(pipeline))
+        checkpoint("cv")
     if "dce" in passes:
         run("dce", pipeline, lambda: apply_interstage_dce(pipeline))
+        checkpoint("dce")
     if "handlers" in passes:
         run("handlers", pipeline, lambda: apply_control_handlers(pipeline))
+        checkpoint("handlers")
     if "ra" in passes:
         def apply_ra():
             # Clean first: the chain matcher wants copy-propagated plumbing.
@@ -199,6 +221,7 @@ def compile_function(
             )
 
         run("ra", pipeline, apply_ra)
+        checkpoint("ra")
 
     def finalize():
         _remove_dead_queues(pipeline)
@@ -214,6 +237,10 @@ def compile_function(
         # the replicas with core.replicate.replicate_pipeline (Sec. IV-C).
         pipeline.meta["replicate"] = function.pragmas["replicate"]
     verify_pipeline(pipeline, max_queues=options.max_queues, max_ras=options.max_ras)
+    diags = sanitize_pipeline(pipeline)
+    for warning in diags.warnings():
+        log("compile %s: %s", pipeline.name, warning.render())
+    diags.raise_if_errors("pipeline %s failed static safety analysis" % pipeline.name)
     return pipeline
 
 

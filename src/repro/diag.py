@@ -1,0 +1,232 @@
+"""Unified diagnostics for the Phloem toolchain.
+
+Every finding of the static pipeline-safety analyzer
+(:mod:`repro.analysis.sanitize`), and every frontend/verifier failure the
+``repro lint`` CLI reports, flows through this module: a stable error code
+(``PHL001``...), a severity, a message, and an optional source
+:class:`Span` threaded from the frontend AST through lowering onto the IR
+statements themselves.
+
+The code registry is append-only: codes are stable identifiers that tests,
+CI jobs, and editor integrations key on, so a code is never renumbered or
+reused once shipped.
+"""
+
+import json
+
+#: Severity levels, most severe first.
+ERROR = "error"
+WARNING = "warning"
+NOTE = "note"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, NOTE: 2}
+
+#: Stable diagnostic codes: code -> (default severity, summary).
+#: Grouped by hundreds: 0xx toolchain wrappers, 1xx token balance,
+#: 2xx deadlock, 3xx cross-stage races.
+CODES = {
+    "PHL001": (ERROR, "IR structural verification failure"),
+    "PHL002": (ERROR, "mini-C parse failure"),
+    "PHL003": (ERROR, "AST lowering failure"),
+    "PHL004": (ERROR, "compiler pass failure"),
+    "PHL101": (ERROR, "queue is produced but never consumed"),
+    "PHL102": (ERROR, "queue is consumed but never produced"),
+    "PHL103": (ERROR, "control-terminated consumer has no producer sentinel"),
+    "PHL104": (WARNING, "conditional token imbalance between branch arms"),
+    "PHL105": (ERROR, "enqueue/dequeue multiplicity mismatch"),
+    "PHL201": (WARNING, "cyclic stage/queue topology"),
+    "PHL202": (ERROR, "capacity-infeasible queue cycle"),
+    "PHL203": (ERROR, "fan-in queue ordering can deadlock bounded queues"),
+    "PHL301": (ERROR, "array written by multiple stages (write-write race)"),
+    "PHL302": (ERROR, "cross-stage read of a written array (read-write race)"),
+    "PHL303": (WARNING, "non-commutative reduction under replication"),
+    "PHL304": (ERROR, "shared scalar crosses stages without a barrier"),
+}
+
+
+class Span:
+    """A source position: 1-based line, optional column, optional file."""
+
+    __slots__ = ("line", "col", "file")
+
+    def __init__(self, line, col=None, file=None):
+        self.line = line
+        self.col = col
+        self.file = file
+
+    @classmethod
+    def from_error(cls, exc, file=None):
+        """Lift the line/col of a :class:`~repro.errors.SpannedError`."""
+        line = getattr(exc, "line", None)
+        if line is None:
+            return None
+        return cls(line, getattr(exc, "col", None), file)
+
+    def render(self):
+        pos = "line %d" % self.line if self.col is None else "%d:%d" % (self.line, self.col)
+        return "%s:%s" % (self.file, pos) if self.file else pos
+
+    def as_dict(self):
+        d = {"line": self.line}
+        if self.col is not None:
+            d["col"] = self.col
+        if self.file is not None:
+            d["file"] = self.file
+        return d
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Span)
+            and (self.line, self.col, self.file) == (other.line, other.col, other.file)
+        )
+
+    def __repr__(self):
+        return "Span(%s)" % self.render()
+
+
+class Diagnostic:
+    """One finding: a coded, severity-ranked message with optional position.
+
+    ``where`` carries pipeline context that is not a source position (e.g.
+    ``"stage 1 (fetch_edges)"`` or ``"queue 3"``) so findings on compiler-
+    synthesized statements stay actionable even without a span.
+    """
+
+    __slots__ = ("code", "severity", "message", "span", "where")
+
+    def __init__(self, code, message, span=None, where=None, severity=None):
+        if code not in CODES:
+            raise ValueError("unknown diagnostic code %r" % (code,))
+        self.code = code
+        self.severity = severity if severity is not None else CODES[code][0]
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError("unknown severity %r" % (self.severity,))
+        self.message = message
+        self.span = span
+        self.where = where
+
+    def render(self):
+        parts = []
+        if self.span is not None:
+            parts.append(self.span.render() + ":")
+        parts.append("%s[%s]:" % (self.severity, self.code))
+        parts.append(self.message)
+        if self.where:
+            parts.append("[%s]" % self.where)
+        return " ".join(parts)
+
+    def as_dict(self):
+        d = {"code": self.code, "severity": self.severity, "message": self.message}
+        if self.span is not None:
+            d["span"] = self.span.as_dict()
+        if self.where is not None:
+            d["where"] = self.where
+        return d
+
+    def __repr__(self):
+        return "Diagnostic(%s)" % self.render()
+
+
+class DiagnosticSet:
+    """An ordered collection of findings with severity-aware helpers."""
+
+    def __init__(self, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+
+    def add(self, code, message, span=None, where=None, severity=None):
+        diag = Diagnostic(code, message, span=span, where=where, severity=severity)
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other):
+        self.diagnostics.extend(other)
+        return self
+
+    def errors(self):
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    def warnings(self):
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    def codes(self):
+        return [d.code for d in self.diagnostics]
+
+    @property
+    def has_errors(self):
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    def sorted(self):
+        """Diagnostics ordered most-severe-first, then by position."""
+        def key(d):
+            line = d.span.line if d.span is not None else 1 << 30
+            return (_SEVERITY_RANK[d.severity], line, d.code)
+
+        return sorted(self.diagnostics, key=key)
+
+    def render_text(self):
+        if not self.diagnostics:
+            return "no diagnostics"
+        lines = [d.render() for d in self.sorted()]
+        n_err, n_warn = len(self.errors()), len(self.warnings())
+        lines.append("%d error(s), %d warning(s)" % (n_err, n_warn))
+        return "\n".join(lines)
+
+    def render_json(self):
+        return json.dumps(
+            {
+                "diagnostics": [d.as_dict() for d in self.sorted()],
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+            },
+            sort_keys=True,
+            indent=2,
+        )
+
+    def raise_if_errors(self, prefix="static analysis failed"):
+        """Raise :class:`~repro.errors.SanitizeError` when errors are present."""
+        errors = self.errors()
+        if not errors:
+            return self
+        from .errors import SanitizeError
+
+        message = "%s:\n%s" % (prefix, "\n".join(d.render() for d in errors))
+        raise SanitizeError(message, diagnostics=errors)
+
+    def __len__(self):
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __repr__(self):
+        return "DiagnosticSet(%d errors, %d warnings)" % (
+            len(self.errors()),
+            len(self.warnings()),
+        )
+
+
+def from_exception(exc, file=None):
+    """Wrap a toolchain exception as a one-diagnostic set (lint CLI path)."""
+    from .errors import CompileError, IRVerificationError, LoweringError, ParseError
+
+    if isinstance(exc, ParseError):
+        code = "PHL002"
+    elif isinstance(exc, LoweringError):
+        code = "PHL003"
+    elif isinstance(exc, IRVerificationError):
+        code = "PHL001"
+    elif isinstance(exc, CompileError):
+        code = "PHL004"
+    else:
+        raise TypeError("not a diagnosable toolchain error: %r" % (exc,))
+    diags = DiagnosticSet()
+    # SpannedError already formats "line L:C:" into str(exc); strip it so the
+    # rendered diagnostic does not repeat the position.
+    message = str(exc)
+    span = Span.from_error(exc, file=file)
+    if span is not None:
+        prefix = "line %d:%d: " % (span.line, span.col if span.col is not None else 0)
+        if message.startswith(prefix):
+            message = message[len(prefix):]
+    diags.add(code, message, span=span)
+    return diags

@@ -2,6 +2,8 @@
 
 Every error raised by this package derives from :class:`PhloemError`, so
 callers can catch one type to handle any failure in the toolchain.
+Frontend and verifier errors carry an optional source position
+(:class:`SpannedError`) that :mod:`repro.diag` renders uniformly.
 """
 
 
@@ -9,10 +11,12 @@ class PhloemError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
-class ParseError(PhloemError):
-    """Raised by the mini-C frontend on malformed source.
+class SpannedError(PhloemError):
+    """A toolchain error that may know its source line/column.
 
-    Carries the source line/column when known, formatted into the message.
+    ``line``/``col`` are 1-based and optional; when present they are
+    formatted into the message exactly as :class:`ParseError` always did,
+    and :mod:`repro.diag` can lift them into a :class:`~repro.diag.Span`.
     """
 
     def __init__(self, message, line=None, col=None):
@@ -23,11 +27,15 @@ class ParseError(PhloemError):
         super().__init__(message)
 
 
-class LoweringError(PhloemError):
+class ParseError(SpannedError):
+    """Raised by the mini-C frontend on malformed source."""
+
+
+class LoweringError(SpannedError):
     """Raised when a parsed AST cannot be lowered to Phloem IR."""
 
 
-class IRVerificationError(PhloemError):
+class IRVerificationError(SpannedError):
     """Raised by the IR verifier when a program violates a structural invariant."""
 
 
@@ -43,6 +51,19 @@ class AliasError(CompileError):
     """
 
 
+class SanitizeError(CompileError):
+    """Raised when the static pipeline-safety analyzer finds hard errors.
+
+    Carries the offending :class:`~repro.diag.Diagnostic` list as
+    ``diagnostics`` so callers (the lint CLI, tests) can inspect codes
+    instead of parsing the message.
+    """
+
+    def __init__(self, message, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        super().__init__(message)
+
+
 class SimulationError(PhloemError):
     """Raised by the Pipette simulator on an inconsistent machine state."""
 
@@ -50,8 +71,11 @@ class SimulationError(PhloemError):
 class DeadlockError(SimulationError):
     """Raised when every thread in a simulation is blocked.
 
-    The message lists each thread and the queue it is blocked on, which is
-    the first thing one needs when debugging a miscompiled pipeline.
+    The message lists each thread and the queue it is blocked on — and,
+    when the scheduler knows the queue topology, the actual wait cycle
+    (stage -> queue -> stage chain) plus the static analyzer's verdict,
+    which is the first thing one needs when debugging a miscompiled
+    pipeline.
     """
 
 

@@ -14,6 +14,7 @@ Symbol kinds:
 """
 
 from .. import ir
+from ..diag import Span
 from ..errors import LoweringError
 from . import cast
 from .parser import parse
@@ -78,9 +79,12 @@ class Lowerer:
     # -- helpers ------------------------------------------------------------
 
     def error(self, node, msg):
+        raise LoweringError(msg, line=getattr(node, "line", None))
+
+    def _span(self, node):
+        """The diag Span of an AST node, or None when the parser lost it."""
         line = getattr(node, "line", None)
-        prefix = "line %s: " % line if line else ""
-        raise LoweringError(prefix + msg)
+        return Span(line) if line is not None else None
 
     def _is_pure(self, expr):
         """True if evaluating ``expr`` has no side effects."""
@@ -149,6 +153,9 @@ class Lowerer:
             self.lower_stmt(stmt)
 
     def lower_stmt(self, stmt):
+        span = self._span(stmt)
+        if span is not None:
+            self.builder.at(span)
         if isinstance(stmt, cast.VarDecl):
             self.lower_vardecl(stmt)
         elif isinstance(stmt, cast.ExprStmt):
@@ -282,22 +289,30 @@ class Lowerer:
         return dst
 
     def lower_if(self, node):
+        # The container node is emitted when its context closes, after the
+        # body set other spans: restore the header span so it lands on the
+        # If/Loop/For node itself.
+        span = self._span(node)
         cond = self._as_bool(node.cond, self.lower_expr(node.cond))
         with self.builder.if_else(cond) as (then_arm, else_arm):
             with then_arm:
                 self.lower_body(node.then_body)
             with else_arm:
                 self.lower_body(node.else_body)
+            self.builder.at(span)
 
     def lower_while(self, node):
+        span = self._span(node)
         with self.builder.loop():
             cond = self._as_bool(node.cond, self.lower_expr(node.cond))
             stop = self.builder.assign("not", [cond])
             with self.builder.if_(stop):
                 self.builder.break_()
             self.lower_body(node.body)
+            self.builder.at(span)
 
     def lower_for(self, node):
+        span = self._span(node)
         affine = self._match_affine_for(node)
         if affine is not None:
             var, lo_expr, hi_expr, step = affine
@@ -306,6 +321,7 @@ class Lowerer:
             self.symbols.declare(var, _Symbols.SCALAR)
             with self.builder.for_(var, lo, hi, step):
                 self.lower_body(node.body)
+                self.builder.at(span)
             return
         # General form: lower like a while loop.
         for init in node.init:
@@ -319,6 +335,7 @@ class Lowerer:
             self.lower_body(node.body)
             if node.post is not None:
                 self.lower_expr_stmt(node.post)
+            self.builder.at(span)
 
     def _match_affine_for(self, node):
         """Recognize ``for (v = lo; v < hi; v += step)`` headers.

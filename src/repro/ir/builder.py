@@ -29,6 +29,7 @@ class IRBuilder:
         self._stack = [[]]
         self._temp_prefix = temp_prefix
         self._next_temp = 0
+        self.span = None  # current source span; stamped onto emitted stmts
 
     # -- plumbing ---------------------------------------------------------
 
@@ -38,8 +39,20 @@ class IRBuilder:
         self._next_temp += 1
         return name
 
+    def at(self, span):
+        """Set the source span stamped onto subsequently emitted statements.
+
+        The frontend's lowering sets this per source statement; ``None``
+        (the default) leaves statements span-free, which is what compiler
+        passes synthesizing new code want.
+        """
+        self.span = span
+        return span
+
     def emit(self, stmt):
         """Append a statement to the current block and return it."""
+        if self.span is not None and stmt.span is None:
+            stmt.span = self.span
         self._stack[-1].append(stmt)
         return stmt
 

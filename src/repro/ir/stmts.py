@@ -20,9 +20,35 @@ def _clone_body(body):
 
 
 class Stmt:
-    """Base class for all IR statements."""
+    """Base class for all IR statements.
+
+    ``span`` (a :class:`repro.diag.Span`, default None) is the source
+    position the statement was lowered from. The frontend stamps it via
+    :class:`~repro.ir.builder.IRBuilder`; compiler-synthesized statements
+    have none. Spans ride through every ``clone()`` automatically (see
+    ``__init_subclass__``) so diagnostics on decoupled pipelines still
+    point at the original mini-C line.
+    """
 
     kind = "stmt"
+    span = None  # class-level default; instances carry their own when known
+
+    def __init_subclass__(cls, **kwargs):
+        # Wrap each subclass's clone() so the span (statement metadata, not
+        # operand state) is copied without every clone body repeating it.
+        super().__init_subclass__(**kwargs)
+        impl = cls.__dict__.get("clone")
+        if impl is None:
+            return
+
+        def clone(self, _impl=impl):
+            new = _impl(self)
+            if self.span is not None:
+                new.span = self.span
+            return new
+
+        clone.__doc__ = impl.__doc__
+        cls.clone = clone
 
     def uses(self):
         """Registers this statement reads."""

@@ -2,15 +2,31 @@
 
 Run after the frontend and after every compiler pass (the passes are simple,
 and keeping them honest is what lets them stay simple). Raises
-:class:`~repro.errors.IRVerificationError` with a precise message.
+:class:`~repro.errors.IRVerificationError` with a precise message; when the
+offending statement carries a source span (frontend-lowered code does), the
+error carries its line/col so :mod:`repro.diag` can render it uniformly.
 """
 
 from ..errors import IRVerificationError
 from .values import is_array_symbol, is_reg
 
+#: Statement kinds that operate on hardware queues. Serial Functions must
+#: not contain them: queues only exist once the compiler has decoupled the
+#: kernel into a pipeline.
+QUEUE_KINDS = frozenset(
+    ["enq", "enq_ctrl", "deq", "peek", "enq_dist", "enq_ctrl_dist"]
+)
 
-def _fail(msg, *args):
-    raise IRVerificationError(msg % args if args else msg)
+
+def _fail(msg, *args, span=None):
+    message = msg % args if args else msg
+    if span is not None:
+        raise IRVerificationError(message, line=span.line, col=span.col)
+    raise IRVerificationError(message)
+
+
+def _span_of(stmt):
+    return getattr(stmt, "span", None)
 
 
 class _Scope:
@@ -25,7 +41,13 @@ class _Scope:
     def check_uses(self, stmt, where):
         for reg in stmt.uses():
             if reg not in self.defined:
-                _fail("%s: use of undefined register %r in '%s'", where, reg, stmt)
+                _fail(
+                    "%s: use of undefined register %r in '%s'",
+                    where,
+                    reg,
+                    stmt,
+                    span=_span_of(stmt),
+                )
 
 
 def _verify_operand_shapes(stmt, arrays, where):
@@ -33,9 +55,20 @@ def _verify_operand_shapes(stmt, arrays, where):
         if hasattr(stmt, attr):
             op = getattr(stmt, attr)
             if is_array_symbol(op) and op[1:] not in arrays:
-                _fail("%s: reference to undeclared array %s in '%s'", where, op, stmt)
+                _fail(
+                    "%s: reference to undeclared array %s in '%s'",
+                    where,
+                    op,
+                    stmt,
+                    span=_span_of(stmt),
+                )
             if not is_array_symbol(op) and not is_reg(op):
-                _fail("%s: array operand must be a symbol or register in '%s'", where, stmt)
+                _fail(
+                    "%s: array operand must be a symbol or register in '%s'",
+                    where,
+                    stmt,
+                    span=_span_of(stmt),
+                )
 
 
 def _verify_body(body, scope, arrays, readonly, loop_depth, where, queue_check=None):
@@ -46,7 +79,7 @@ def _verify_body(body, scope, arrays, readonly, loop_depth, where, queue_check=N
 
         if kind in ("store", "atomic_rmw"):
             if is_array_symbol(stmt.array) and stmt.array[1:] in readonly:
-                _fail("%s: store to const array %s", where, stmt.array)
+                _fail("%s: store to const array %s", where, stmt.array, span=_span_of(stmt))
         elif kind == "break":
             if stmt.levels < 1 or stmt.levels > loop_depth:
                 _fail(
@@ -54,13 +87,21 @@ def _verify_body(body, scope, arrays, readonly, loop_depth, where, queue_check=N
                     where,
                     stmt.levels,
                     loop_depth,
+                    span=_span_of(stmt),
                 )
         elif kind == "continue":
             if loop_depth < 1:
-                _fail("%s: continue outside any loop", where)
-        elif kind in ("enq", "enq_ctrl", "deq", "peek", "enq_dist", "enq_ctrl_dist"):
+                _fail("%s: continue outside any loop", where, span=_span_of(stmt))
+        elif kind in QUEUE_KINDS:
             if queue_check is not None:
                 queue_check(stmt, where)
+            else:
+                _fail(
+                    "%s: queue operation '%s' outside a pipeline stage",
+                    where,
+                    stmt,
+                    span=_span_of(stmt),
+                )
 
         if kind == "for":
             scope.define([stmt.var])
@@ -81,7 +122,11 @@ def _readonly_names(arrays):
 
 
 def verify_function(function):
-    """Check a serial Function: defined-before-use, valid breaks, decls."""
+    """Check a serial Function: defined-before-use, valid breaks, decls.
+
+    Queue operations are rejected outright — a serial kernel has no queues;
+    they appear only in pipeline stages where the queue table scopes them.
+    """
     scope = _Scope(function.scalar_params)
     scope.define("@" + a for a in ())  # no-op; arrays are symbols, not regs
     _verify_body(
@@ -98,9 +143,13 @@ def verify_function(function):
 def verify_pipeline(pipeline, max_queues=None, max_ras=None):
     """Check a PipelineProgram's wiring and each stage's body.
 
+    * stage indices and RA ids are unique (endpoint descriptors would be
+      ambiguous otherwise);
     * every queue has one producer and one consumer endpoint that exists;
-    * stages only enq to queues they produce and deq from queues they consume;
-    * RA in/out queues agree with the queue specs;
+    * stages only enq to queues they produce and deq from queues they
+      consume — and every queue id a statement references is declared in
+      the program's queue table;
+    * RA in/out queues are distinct and agree with the queue specs;
     * handlers are installed only on queues the stage consumes;
     * optional machine limits (queues, RAs) are respected.
     """
@@ -109,8 +158,20 @@ def verify_pipeline(pipeline, max_queues=None, max_ras=None):
     if max_ras is not None and len(pipeline.ras) > max_ras:
         _fail("pipeline %s uses %d RAs > machine limit %d", pipeline.name, len(pipeline.ras), max_ras)
 
-    stage_ids = {s.index for s in pipeline.stages}
-    ra_ids = {r.raid for r in pipeline.ras}
+    stage_ids = set()
+    for stage in pipeline.stages:
+        if stage.index in stage_ids:
+            _fail(
+                "pipeline %s has two stages with index %d: queue endpoints are ambiguous",
+                pipeline.name,
+                stage.index,
+            )
+        stage_ids.add(stage.index)
+    ra_ids = set()
+    for ra in pipeline.ras:
+        if ra.raid in ra_ids:
+            _fail("pipeline %s has two RAs with id %d", pipeline.name, ra.raid)
+        ra_ids.add(ra.raid)
 
     def endpoint_ok(ep):
         kind, idx = ep
@@ -131,6 +192,8 @@ def verify_pipeline(pipeline, max_queues=None, max_ras=None):
             _fail("queue %d has unknown consumer %s", q.qid, q.consumer)
 
     for ra in pipeline.ras:
+        if ra.in_queue == ra.out_queue:
+            _fail("RA %d uses queue %d as both input and output", ra.raid, ra.in_queue)
         if ra.in_queue not in pipeline.queues:
             _fail("RA %d input queue %d undeclared", ra.raid, ra.in_queue)
         if ra.out_queue not in pipeline.queues:
@@ -149,11 +212,26 @@ def verify_pipeline(pipeline, max_queues=None, max_ras=None):
         def queue_check(stmt, where, _me=me):
             q = pipeline.queues.get(stmt.queue)
             if q is None:
-                _fail("%s: reference to undeclared queue %d", where, stmt.queue)
+                _fail(
+                    "%s: reference to undeclared queue %d",
+                    where,
+                    stmt.queue,
+                    span=_span_of(stmt),
+                )
             if stmt.kind in ("enq", "enq_ctrl", "enq_dist", "enq_ctrl_dist") and q.producer != _me:
-                _fail("%s: stage is not the producer of queue %d", where, stmt.queue)
+                _fail(
+                    "%s: stage is not the producer of queue %d",
+                    where,
+                    stmt.queue,
+                    span=_span_of(stmt),
+                )
             if stmt.kind in ("deq", "peek") and q.consumer != _me:
-                _fail("%s: stage is not the consumer of queue %d", where, stmt.queue)
+                _fail(
+                    "%s: stage is not the consumer of queue %d",
+                    where,
+                    stmt.queue,
+                    span=_span_of(stmt),
+                )
 
         scope = _Scope(pipeline.scalar_params)
         _verify_body(

@@ -103,6 +103,37 @@ class SimResult:
         return "SimResult(%.0f cycles, %d uops)" % (self.cycles, self.stats.total_uops)
 
 
+def _static_deadlock_verdict(specs):
+    """One report line cross-linking the static analyzer's verdict.
+
+    Called only when the scheduler is already raising a deadlock, so cost
+    does not matter; imported lazily because the simulator must stay
+    importable without the analysis stack.
+    """
+    try:
+        from ..analysis.sanitize import sanitize_pipeline
+    except ImportError:  # pragma: no cover - analysis stack always ships
+        return None
+    findings = []
+    for spec in specs:
+        try:
+            diags = sanitize_pipeline(spec.pipeline)
+        except Exception:  # pragma: no cover - a broken pipeline: no verdict
+            return None
+        findings.extend(
+            d for d in diags if d.severity == "error" or d.code.startswith("PHL2")
+        )
+    if findings:
+        return "static analysis predicted this: %s" % "; ".join(
+            d.render() for d in findings[:4]
+        )
+    return (
+        "static analysis found no topology cycle or token imbalance; "
+        "suspect undersized queues for this input (queue depths come from "
+        "pipette.config) or data-dependent token loss"
+    )
+
+
 class Machine:
     """A Pipette multicore machine ready to run pipeline programs.
 
@@ -135,7 +166,12 @@ class Machine:
         addr_map = AddressMap()
         ledgers = [IssueLedger(config.issue_width) for _ in range(config.cores)]
         tracer = self.tracer
-        scheduler = Scheduler(tracer=tracer)
+        topology = {"task_replica": {}, "producer": {}, "consumer": {}}
+        scheduler = Scheduler(
+            tracer=tracer,
+            topology=topology,
+            deadlock_hint=lambda: _static_deadlock_verdict(specs),
+        )
         self.envs = []
 
         threads_per_core = [0] * config.cores
@@ -209,6 +245,21 @@ class Machine:
                 engine = RAEngine(spec_ra, env, task)
                 task.clock_ref = lambda e=engine: e.clock
                 scheduler.add(task, engine.run())
+
+            # Queue-endpoint topology for the scheduler's deadlock report:
+            # which task sits at each end of each queue of this replica.
+            stage_names = {
+                s.index: "r%d.s%d.%s" % (replica, s.index, s.name)
+                for s in pipeline.stages
+            }
+            ra_names = {r.raid: "r%d.ra%d" % (replica, r.raid) for r in pipeline.ras}
+            for name in list(stage_names.values()) + list(ra_names.values()):
+                topology["task_replica"][name] = replica
+            for q in pipeline.queues.values():
+                for role, (ekind, eidx) in (("producer", q.producer), ("consumer", q.consumer)):
+                    owner = stage_names.get(eidx) if ekind == "stage" else ra_names.get(eidx)
+                    if ekind != "extern" and owner is not None:
+                        topology[role][(replica, q.qid)] = owner
 
         for core, used in enumerate(threads_per_core):
             if used > config.smt_threads:

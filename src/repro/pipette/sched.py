@@ -121,11 +121,20 @@ class Scheduler:
     None`` check per resume.
     """
 
-    def __init__(self, tracer=None):
+    def __init__(self, tracer=None, topology=None, deadlock_hint=None):
         self.tasks = []
         self._heap = []
         self._counter = 0
         self.tracer = tracer
+        #: Optional queue-endpoint topology for deadlock reports:
+        #: ``{"task_replica": {task name: replica},
+        #:    "producer"/"consumer": {(replica, qid): task name}}``.
+        #: With it, a deadlock report names the actual wait cycle
+        #: (stage -> queue -> stage chain) instead of just listing waiters.
+        self.topology = topology
+        #: Optional zero-argument callable returning one extra report line
+        #: (the machine wires the static analyzer's verdict through this).
+        self.deadlock_hint = deadlock_hint
 
     def add(self, task, gen):
         task.gen = gen
@@ -183,7 +192,53 @@ class Scheduler:
         lines = ["all threads blocked:"]
         for t in blocked:
             lines.append("  %s waiting on %s at cycle %.0f" % (t.name, t.blocked_on, t.time))
+        chain = self._wait_chain(blocked)
+        if chain:
+            lines.append("wait cycle: %s" % chain)
+        if self.deadlock_hint is not None:
+            hint = self.deadlock_hint()
+            if hint:
+                lines.append(hint)
         raise DeadlockError("\n".join(lines))
+
+    def _peer_of(self, task):
+        """The task that ``task``'s blocking reason is waiting on, plus an
+        edge label — blocked on a full queue waits for its consumer, blocked
+        on an empty queue waits for its producer."""
+        reason = task.blocked_on
+        if self.topology is None or not isinstance(reason, tuple) or len(reason) != 2:
+            return None, None
+        kind, key = reason
+        replica = self.topology.get("task_replica", {}).get(task.name)
+        if kind in ("enq", "ra-enq"):
+            peer = self.topology.get("consumer", {}).get((replica, key))
+            label = "enq q%s" % key
+        elif kind in ("deq", "peek", "ra-deq"):
+            peer = self.topology.get("producer", {}).get((replica, key))
+            label = "%s q%s" % ("deq" if kind != "peek" else "peek", key)
+        else:
+            return None, None  # barriers wait on everyone, not one peer
+        return peer, label
+
+    def _wait_chain(self, blocked):
+        """Chase blocked-on edges to find and render a wait cycle, if any."""
+        by_name = {t.name: t for t in self.tasks}
+        for start in blocked:
+            visited = []  # [(task, edge label)] along the chase
+            names = {}
+            task = start
+            while task is not None and not task.done and not task.runnable:
+                if task.name in names:
+                    cycle = visited[names[task.name]:]
+                    parts = ["%s -(%s)->" % (t.name, lbl) for t, lbl in cycle]
+                    return " ".join(parts + [cycle[0][0].name])
+                peer_name, label = self._peer_of(task)
+                if peer_name is None:
+                    break
+                names[task.name] = len(visited)
+                visited.append((task, label))
+                task = by_name.get(peer_name)
+        return None
 
 
 class IssueLedger:

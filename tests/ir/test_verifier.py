@@ -48,6 +48,24 @@ class TestFunctionVerifier:
         body = [ir.For("i", 0, "n", 1, [ir.Assign("x", "add", ["i", 1])])]
         assert ir.verify_function(_func(body))
 
+    def test_rejects_queue_ops_in_serial_function(self):
+        # Serial kernels have no queues; enq/deq only make sense after the
+        # compiler decouples the kernel into a pipeline.
+        for stmt in (ir.Enq(0, "n"), ir.Deq("x", 0), ir.Peek("x", 0)):
+            with pytest.raises(IRVerificationError, match="outside a pipeline stage"):
+                ir.verify_function(_func([stmt]))
+
+    def test_error_carries_statement_span(self):
+        from repro.diag import Span
+
+        stmt = ir.Assign("x", "add", ["ghost", 1])
+        stmt.span = Span(12, 3)
+        with pytest.raises(IRVerificationError) as excinfo:
+            ir.verify_function(_func([stmt]))
+        assert excinfo.value.line == 12
+        assert excinfo.value.col == 3
+        assert "line 12:3" in str(excinfo.value)
+
 
 def _pipeline(stages, queues, ras=(), arrays=None):
     arrays = arrays or {"a": ir.ArrayDecl("a")}
@@ -79,6 +97,48 @@ class TestPipelineVerifier:
         s0 = ir.StageProgram(0, "p", [ir.Enq(9, "n")])
         p = _pipeline([s0], [])
         with pytest.raises(IRVerificationError, match="undeclared queue"):
+            ir.verify_pipeline(p)
+
+    def test_rejects_undeclared_queue_in_deq_and_handler(self):
+        s0 = ir.StageProgram(0, "p", [ir.Enq(0, "n")])
+        s1 = ir.StageProgram(
+            1, "c", [ir.Deq("x", 0)], handlers={0: [ir.Enq(5, "%ctrl")]}
+        )
+        p = _pipeline([s0, s1], [ir.QueueSpec(0, ("stage", 0), ("stage", 1))])
+        with pytest.raises(IRVerificationError, match="undeclared queue 5"):
+            ir.verify_pipeline(p)
+
+    def test_rejects_duplicate_stage_indices(self):
+        s0 = ir.StageProgram(0, "p", [ir.Enq(0, "n")])
+        s0b = ir.StageProgram(0, "q", [])
+        s1 = ir.StageProgram(1, "c", [ir.Deq("x", 0)])
+        p = _pipeline([s0, s0b, s1], [ir.QueueSpec(0, ("stage", 0), ("stage", 1))])
+        with pytest.raises(IRVerificationError, match="two stages with index 0"):
+            ir.verify_pipeline(p)
+
+    def test_rejects_duplicate_ra_ids(self):
+        s0 = ir.StageProgram(0, "p", [ir.Enq(0, "n")])
+        s1 = ir.StageProgram(1, "c", [ir.Deq("x", 3)])
+        queues = [
+            ir.QueueSpec(0, ("stage", 0), ("ra", 0)),
+            ir.QueueSpec(1, ("ra", 0), ("stage", 1)),
+            ir.QueueSpec(2, ("stage", 0), ("ra", 0)),
+            ir.QueueSpec(3, ("ra", 0), ("stage", 1)),
+        ]
+        ras = [
+            ir.RASpec(0, ir.RA_INDIRECT, "@a", 0, 1),
+            ir.RASpec(0, ir.RA_INDIRECT, "@a", 2, 3),
+        ]
+        p = _pipeline([s0, s1], queues, ras)
+        with pytest.raises(IRVerificationError, match="two RAs with id 0"):
+            ir.verify_pipeline(p)
+
+    def test_rejects_ra_with_same_in_and_out_queue(self):
+        s0 = ir.StageProgram(0, "p", [ir.Enq(0, "n")])
+        queues = [ir.QueueSpec(0, ("stage", 0), ("ra", 0))]
+        ras = [ir.RASpec(0, ir.RA_INDIRECT, "@a", 0, 0)]
+        p = _pipeline([s0], queues, ras)
+        with pytest.raises(IRVerificationError, match="both input and output"):
             ir.verify_pipeline(p)
 
     def test_rejects_unknown_endpoint(self):

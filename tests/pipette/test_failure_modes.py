@@ -76,3 +76,66 @@ def test_dangling_break_detected():
     pipe = ir.PipelineProgram("t", [stage], [], [], {}, [])
     with pytest.raises(Exception):
         Machine(MachineConfig()).run(RunSpec(pipe, {}, {}))
+
+
+def test_deadlock_report_includes_wait_cycle_and_static_verdict():
+    # Fan-in ordering bug with a deliberately under-sized queue: the
+    # producer must push 8 tokens into a capacity-2 queue before it ever
+    # feeds the queue the consumer blocks on first.
+    b0 = ir.IRBuilder()
+    with b0.for_("i", 0, 8):
+        b0.enq(0, "i")
+    b0.enq(1, 1)
+    s0 = ir.StageProgram(0, "produce", b0.finish())
+    b1 = ir.IRBuilder()
+    b1.deq(1)
+    with b1.for_("j", 0, 8):
+        b1.deq(0)
+    s1 = ir.StageProgram(1, "consume", b1.finish())
+    pipe = ir.PipelineProgram(
+        "fanin",
+        [s0, s1],
+        [
+            ir.QueueSpec(0, ("stage", 0), ("stage", 1), capacity=2),
+            ir.QueueSpec(1, ("stage", 0), ("stage", 1), capacity=2),
+        ],
+        [],
+        {},
+        [],
+    )
+    with pytest.raises(DeadlockError) as excinfo:
+        Machine(MachineConfig()).run(RunSpec(pipe, {}, {}))
+    message = str(excinfo.value)
+    # Dynamic trip-wire: the actual wait cycle through named tasks.
+    assert "wait cycle:" in message
+    assert "r0.s0.produce" in message and "r0.s1.consume" in message
+    assert "-(enq q0)->" in message
+    # Cross-link back to the static analyzer's verdict.
+    assert "static analysis predicted this" in message
+    assert "PHL203" in message
+
+
+def test_deadlock_hint_without_static_finding_blames_configuration():
+    # When the analyzer proves the topology sound, the deadlock report must
+    # point at the runtime configuration instead of the program.
+    from repro.pipette.machine import _static_deadlock_verdict
+
+    b0 = ir.IRBuilder()
+    with b0.for_("i", 0, 4):
+        b0.enq(0, "i")
+    s0 = ir.StageProgram(0, "p", b0.finish())
+    b1 = ir.IRBuilder()
+    with b1.for_("i", 0, 4):
+        b1.deq(0)
+    s1 = ir.StageProgram(1, "c", b1.finish())
+    pipe = ir.PipelineProgram(
+        "clean",
+        [s0, s1],
+        [ir.QueueSpec(0, ("stage", 0), ("stage", 1))],
+        [],
+        {},
+        [],
+    )
+    hint = _static_deadlock_verdict([RunSpec(pipe, {}, {})])
+    assert "no topology cycle or token imbalance" in hint
+    assert "undersized queues" in hint

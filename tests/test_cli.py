@@ -194,3 +194,58 @@ def test_figures_metrics_out_from_suites(tmp_path, capsys):
     finally:
         experiments._SUITES.clear()
         experiments._SUITES.update(old)
+
+
+BAD_KERNEL = """
+#pragma phloem
+void bad(int n) {
+  #pragma phloem
+  n = 1;
+}
+"""
+
+
+class TestLint:
+    def test_lint_clean_file(self, kernel_file, capsys):
+        assert main(["lint", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_lint_bad_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text(BAD_KERNEL)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "PHL003" in out
+
+    def test_lint_all_benchmarks_clean(self, capsys):
+        assert main(["lint", "--bench", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs" in out and "spmm" in out
+        assert "PHL" not in out
+
+    def test_lint_json_shape(self, kernel_file, capsys):
+        assert main(["lint", kernel_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload
+        assert entry["errors"] == 0 and entry["warnings"] == 0
+        assert entry["diagnostics"] == []
+        assert entry["target"].endswith("k.c")
+
+    def test_lint_json_carries_code_and_span(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text(BAD_KERNEL)
+        assert main(["lint", str(path), "--json"]) == 1
+        (entry,) = json.loads(capsys.readouterr().out)
+        (d,) = entry["diagnostics"]
+        assert d["code"] == "PHL003"
+        assert d["span"]["line"] == 4
+
+    def test_lint_verify_each_benchmarks(self, capsys):
+        assert main(["lint", "--bench", "bfs", "--verify-each"]) == 0
+
+    def test_lint_requires_a_target(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_lint_unknown_bench_rejected(self, capsys):
+        assert main(["lint", "--bench", "nope"]) == 2

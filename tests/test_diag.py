@@ -1,0 +1,127 @@
+"""The diagnostics framework: codes, spans, rendering, severity plumbing."""
+
+import json
+
+import pytest
+
+from repro.diag import (
+    CODES,
+    ERROR,
+    NOTE,
+    WARNING,
+    Diagnostic,
+    DiagnosticSet,
+    Span,
+    from_exception,
+)
+from repro.errors import (
+    CompileError,
+    IRVerificationError,
+    LoweringError,
+    ParseError,
+    SanitizeError,
+)
+
+
+class TestRegistry:
+    def test_codes_are_stable_identifiers(self):
+        # The registry is append-only; these families exist and keep their
+        # documented default severities.
+        assert CODES["PHL002"][0] == ERROR
+        assert CODES["PHL104"][0] == WARNING
+        assert CODES["PHL201"][0] == WARNING
+        assert CODES["PHL301"][0] == ERROR
+
+    def test_every_code_is_well_formed(self):
+        for code, (severity, summary) in CODES.items():
+            assert code.startswith("PHL") and code[3:].isdigit()
+            assert severity in (ERROR, WARNING, NOTE)
+            assert summary
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic("PHL999", "nope")
+
+
+class TestSpan:
+    def test_render_variants(self):
+        assert Span(7).render() == "line 7"
+        assert Span(7, 3).render() == "7:3"
+        assert Span(7, 3, "k.c").render() == "k.c:7:3"
+
+    def test_from_error_lifts_position(self):
+        exc = LoweringError("boom", line=4, col=2)
+        span = Span.from_error(exc)
+        assert span == Span(4, 2)
+        assert Span.from_error(CompileError("no position")) is None
+
+
+class TestDiagnosticSet:
+    def test_add_render_and_counts(self):
+        diags = DiagnosticSet()
+        diags.add("PHL105", "mismatch", span=Span(9), where="queue 3")
+        diags.add("PHL104", "conditional")
+        assert diags.has_errors
+        assert len(diags.errors()) == 1 and len(diags.warnings()) == 1
+        text = diags.render_text()
+        assert "error[PHL105]" in text and "[queue 3]" in text
+        assert "line 9" in text
+        assert "1 error(s), 1 warning(s)" in text
+
+    def test_sorted_puts_errors_first(self):
+        diags = DiagnosticSet()
+        diags.add("PHL104", "warn", span=Span(1))
+        diags.add("PHL105", "err", span=Span(99))
+        assert [d.code for d in diags.sorted()] == ["PHL105", "PHL104"]
+
+    def test_json_roundtrip(self):
+        diags = DiagnosticSet()
+        diags.add("PHL301", "race", span=Span(5, 1, "k.c"), where="array @a")
+        payload = json.loads(diags.render_json())
+        assert payload["errors"] == 1
+        (d,) = payload["diagnostics"]
+        assert d["code"] == "PHL301"
+        assert d["span"] == {"line": 5, "col": 1, "file": "k.c"}
+
+    def test_raise_if_errors(self):
+        diags = DiagnosticSet()
+        diags.add("PHL104", "only a warning")
+        diags.raise_if_errors()  # warnings never raise
+        diags.add("PHL101", "never drained")
+        with pytest.raises(SanitizeError) as excinfo:
+            diags.raise_if_errors()
+        assert [d.code for d in excinfo.value.diagnostics] == ["PHL101"]
+
+
+class TestFromException:
+    def test_wraps_each_toolchain_error(self):
+        cases = [
+            (ParseError("bad token", line=2, col=5), "PHL002"),
+            (LoweringError("bad stmt", line=3), "PHL003"),
+            (IRVerificationError("bad ir"), "PHL001"),
+            (CompileError("bad pass"), "PHL004"),
+        ]
+        for exc, code in cases:
+            diags = from_exception(exc, file="k.c")
+            (d,) = list(diags)
+            assert d.code == code
+            assert d.severity == ERROR
+
+    def test_strips_position_prefix_from_message(self):
+        diags = from_exception(ParseError("bad token", line=2, col=5))
+        (d,) = list(diags)
+        assert d.message == "bad token"
+        assert d.span == Span(2, 5)
+
+
+class TestSpannedErrors:
+    def test_lowering_and_verification_errors_carry_position(self):
+        # Satellite of the diagnostics work: LoweringError and
+        # IRVerificationError accept the same optional line/col ParseError
+        # always had.
+        for cls in (ParseError, LoweringError, IRVerificationError):
+            exc = cls("oops", line=11, col=4)
+            assert (exc.line, exc.col) == (11, 4)
+            assert "line 11:4" in str(exc)
+            bare = cls("oops")
+            assert bare.line is None and str(bare) == "oops"
