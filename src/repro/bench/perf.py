@@ -1,0 +1,426 @@
+"""Simulator perf-regression harness (``repro bench perf``).
+
+Times the *simulator itself* — not the simulated programs — by running the
+five paper kernels under both execution engines: the closure-compiled fast
+path (:mod:`repro.pipette.fastpath`) and the reference interpreter it must
+match bit-for-bit. Each run produces a versioned perf record (wall time,
+simulated cycles per second, per-phase breakdown) and the set rolls up to
+one aggregate speedup, ``sum(slow walls) / sum(fast walls)``.
+
+Records are compared against a committed baseline (``BENCH_pipette.json``
+at the repo root):
+
+* **cycles must match the baseline exactly** — a mismatch means the
+  simulator's behaviour changed (or went nondeterministic), which is an
+  error, never a warning;
+* **wall time is hardware-dependent**, so regressions beyond the threshold
+  only warn by default (CI boxes are noisy neighbours).
+
+Methodology notes, so the numbers mean the same thing everywhere: inputs
+are built from fixed seeds; every run gets a fresh copy of the input
+arrays; the GC is collected and disabled around each timed window; each
+engine runs ``repeats`` times and the minimum wall time is kept (the
+minimum estimates the noise-free cost; means smear scheduler jitter into
+the record). Within one invocation every repeat must report identical
+cycles — any spread is a determinism bug and fails the run.
+"""
+
+import gc
+import json
+import os
+import time
+
+from ..cache import cached_compile
+from ..core.compiler import CompileOptions
+from .harness import adapter_for
+
+#: Schema identity stamped on every perf record / baseline file.
+PERF_SCHEMA = "repro.bench/perf-record"
+BASELINE_SCHEMA = "repro.bench/perf-baseline"
+PERF_VERSION = 1
+
+#: Default committed baseline, resolved against the working directory.
+BASELINE_FILE = "BENCH_pipette.json"
+
+#: Fractional wall-time tolerance before a regression warning.
+DEFAULT_THRESHOLD = 0.25
+
+#: QUICK-scale inputs: small enough that the whole suite (both engines,
+#: several repeats) stays in CI-smoke territory, large enough that each
+#: kernel simulates for seconds — at tiny sizes the fixed setup cost
+#: (machine build, closure compilation) dilutes the engine ratio.
+QUICK_INPUTS = {
+    "bfs": ("power_law", {"n": 6000, "deg": 8, "seed": 7}),
+    "cc": ("power_law", {"n": 4000, "deg": 8, "seed": 7}),
+    "prd": ("power_law", {"n": 2000, "deg": 4, "seed": 7}),
+    "radii": ("power_law", {"n": 4000, "deg": 8, "seed": 7}),
+    "spmm": ("random_matrix", {"n": 128, "nnz_per_row": 6, "seed": 7}),
+}
+
+#: FULL-scale inputs for local, patient measurement runs.
+FULL_INPUTS = {
+    "bfs": ("power_law", {"n": 20000, "deg": 8, "seed": 7}),
+    "cc": ("power_law", {"n": 12000, "deg": 8, "seed": 7}),
+    "prd": ("power_law", {"n": 6000, "deg": 4, "seed": 7}),
+    "radii": ("power_law", {"n": 12000, "deg": 8, "seed": 7}),
+    "spmm": ("random_matrix", {"n": 256, "nnz_per_row": 6, "seed": 7}),
+}
+
+SCALES = {"quick": QUICK_INPUTS, "full": FULL_INPUTS}
+
+
+class PerfError(Exception):
+    """A conformance/determinism failure while measuring (never a slowdown)."""
+
+
+def build_input(spec):
+    """Materialize one ``(kind, params)`` input spec deterministically."""
+    kind, params = spec
+    if kind == "power_law":
+        from ..workloads import graphs
+
+        return graphs.power_law(params["n"], params["deg"], seed=params["seed"])
+    if kind == "random_matrix":
+        from ..workloads import matrices
+
+        return matrices.random_matrix(
+            params["n"], params["nnz_per_row"], seed=params["seed"]
+        )
+    raise PerfError("unknown input kind %r" % (kind,))
+
+
+def input_label(spec):
+    kind, params = spec
+    inner = ",".join("%s=%s" % (k, params[k]) for k in sorted(params))
+    return "%s(%s)" % (kind, inner)
+
+
+def _timed_run(pipeline, arrays, scalars, fastpath):
+    """One timed simulation: fresh input copy, GC quiesced, wall + result."""
+    from ..runtime.executor import run_pipeline
+
+    fresh = {name: list(values) for name, values in arrays.items()}
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = run_pipeline(pipeline, fresh, dict(scalars), fastpath=fastpath)
+        wall = time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
+    return result, wall
+
+
+def measure_bench(bench, scale="quick", repeats=2):
+    """Measure one kernel under both engines; returns a perf record dict.
+
+    Raises :class:`PerfError` when the engines disagree on any
+    :meth:`~repro.pipette.stats.SimStats.summary` field or when repeated
+    runs of one engine disagree on cycles.
+    """
+    spec = SCALES[scale][bench]
+    phase_start = time.perf_counter()
+    data = build_input(spec)
+    input_s = time.perf_counter() - phase_start
+
+    adapter = adapter_for(bench)
+    arrays, scalars = adapter.env(data)
+    phase_start = time.perf_counter()
+    pipeline = cached_compile(adapter.function(), CompileOptions())
+    compile_s = time.perf_counter() - phase_start
+
+    walls = {True: [], False: []}
+    results = {True: None, False: None}
+    for _ in range(max(1, repeats)):
+        # Alternate engines within each repeat so slow drift (thermal,
+        # neighbours) hits both sides of the ratio evenly.
+        for fastpath in (False, True):
+            result, wall = _timed_run(pipeline, arrays, scalars, fastpath)
+            walls[fastpath].append(wall)
+            previous = results[fastpath]
+            if previous is not None and previous.cycles != result.cycles:
+                raise PerfError(
+                    "%s: %s engine is nondeterministic (cycles %r then %r)"
+                    % (
+                        bench,
+                        "fast" if fastpath else "reference",
+                        previous.cycles,
+                        result.cycles,
+                    )
+                )
+            results[fastpath] = result
+
+    slow, fast = results[False], results[True]
+    if slow.stats.summary() != fast.stats.summary() or slow.cycles != fast.cycles:
+        raise PerfError(
+            "%s: fast path diverged from the reference interpreter "
+            "(run both under tests/pipette/test_fastpath_conformance.py "
+            "to localize)" % bench
+        )
+
+    # Rounded before deriving ratios, so the record is internally
+    # consistent: recomputing speedup from the stored walls reproduces the
+    # stored speedup.
+    slow_wall = round(min(walls[False]), 4)
+    fast_wall = round(min(walls[True]), 4)
+    cycles = fast.cycles
+    return {
+        "schema": PERF_SCHEMA,
+        "version": PERF_VERSION,
+        "bench": bench,
+        "scale": scale,
+        "input": input_label(spec),
+        "repeats": max(1, repeats),
+        "cycles": cycles,
+        "slow_wall_s": round(slow_wall, 4),
+        "fast_wall_s": round(fast_wall, 4),
+        "speedup": round(slow_wall / fast_wall, 3),
+        "sim_mcycles_per_s": round(cycles / fast_wall / 1e6, 3),
+        "phases": {
+            "input_s": round(input_s, 4),
+            "compile_s": round(compile_s, 4),
+            "sim_slow_s": round(slow_wall, 4),
+            "sim_fast_s": round(fast_wall, 4),
+        },
+    }
+
+
+def aggregate(records):
+    """Roll records up to the headline ratio: total slow wall / total fast."""
+    slow = sum(r["slow_wall_s"] for r in records)
+    fast = sum(r["fast_wall_s"] for r in records)
+    return {
+        "slow_wall_s": round(slow, 4),
+        "fast_wall_s": round(fast, 4),
+        "speedup": round(slow / fast, 3) if fast else 0.0,
+    }
+
+
+def run_perf(benches=None, scale="quick", repeats=2, jobs=1):
+    """Measure ``benches`` (default: all five); returns the record list.
+
+    ``jobs > 1`` fans kernels out over the :mod:`repro.bench.parallel`
+    worker pool. Cycles are unaffected (that is what the determinism tests
+    pin down); wall times measured under contention are only comparable to
+    other contended runs, so baselines should be recorded with ``jobs=1``.
+    """
+    if benches is None:
+        benches = sorted(SCALES[scale])
+    if jobs > 1:
+        from .parallel import Job, run_jobs
+
+        job_list = [
+            Job(("perf", scale, bench), measure_bench, bench, scale, repeats)
+            for bench in benches
+        ]
+        return [res.value for res in run_jobs(job_list, workers=jobs)]
+    return [measure_bench(bench, scale, repeats) for bench in benches]
+
+
+def baseline_payload(records, scale):
+    return {
+        "schema": BASELINE_SCHEMA,
+        "version": PERF_VERSION,
+        "scale": scale,
+        "records": records,
+        "aggregate": aggregate(records),
+    }
+
+
+def write_baseline(records, scale, path=BASELINE_FILE):
+    payload = baseline_payload(records, scale)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def read_baseline(path=BASELINE_FILE):
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise PerfError("%s: not a %s file" % (path, BASELINE_SCHEMA))
+    return payload
+
+
+def check_against_baseline(records, baseline, threshold=DEFAULT_THRESHOLD):
+    """Compare fresh records to a baseline; returns ``(errors, warnings)``.
+
+    Errors are behaviour changes (cycle counts differ from the committed
+    baseline — the simulator no longer computes the same timing, or has
+    gone nondeterministic). Warnings are wall-time movements beyond
+    ``threshold``, which may just be the machine.
+    """
+    errors, warnings = [], []
+    by_bench = {r["bench"]: r for r in baseline.get("records", [])}
+    for record in records:
+        base = by_bench.get(record["bench"])
+        if base is None:
+            warnings.append("%s: no baseline record" % record["bench"])
+            continue
+        if base.get("scale") != record["scale"] or base.get("input") != record["input"]:
+            warnings.append(
+                "%s: baseline measured %s at scale %s, current is %s at %s; "
+                "skipping comparison"
+                % (
+                    record["bench"],
+                    base.get("input"),
+                    base.get("scale"),
+                    record["input"],
+                    record["scale"],
+                )
+            )
+            continue
+        if base["cycles"] != record["cycles"]:
+            errors.append(
+                "%s: simulated cycles changed from baseline (%r -> %r); "
+                "timing behaviour moved — if intentional, re-record with "
+                "--update-baseline"
+                % (record["bench"], base["cycles"], record["cycles"])
+            )
+        limit = base["fast_wall_s"] * (1.0 + threshold)
+        if record["fast_wall_s"] > limit:
+            warnings.append(
+                "%s: fast-path wall %.3fs exceeds baseline %.3fs by more "
+                "than %d%%"
+                % (
+                    record["bench"],
+                    record["fast_wall_s"],
+                    base["fast_wall_s"],
+                    round(threshold * 100),
+                )
+            )
+        if record["speedup"] < base["speedup"] * (1.0 - threshold):
+            warnings.append(
+                "%s: speedup %.2fx fell more than %d%% below baseline %.2fx"
+                % (
+                    record["bench"],
+                    record["speedup"],
+                    round(threshold * 100),
+                    base["speedup"],
+                )
+            )
+    return errors, warnings
+
+
+def render_table(records, agg):
+    """Human-readable summary table (stdout payload of ``bench perf``)."""
+    lines = []
+    header = "%-7s %-6s %12s %9s %9s %8s %10s" % (
+        "bench", "scale", "cycles", "slow(s)", "fast(s)", "speedup", "Mcyc/s",
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in records:
+        lines.append(
+            "%-7s %-6s %12.0f %9.3f %9.3f %7.2fx %10.2f"
+            % (
+                r["bench"],
+                r["scale"],
+                r["cycles"],
+                r["slow_wall_s"],
+                r["fast_wall_s"],
+                r["speedup"],
+                r["sim_mcycles_per_s"],
+            )
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        "%-7s %-6s %12s %9.3f %9.3f %7.2fx"
+        % (
+            "total", "", "", agg["slow_wall_s"], agg["fast_wall_s"], agg["speedup"],
+        )
+    )
+    return "\n".join(lines)
+
+
+def obs_records(records):
+    """Perf results as :mod:`repro.obs.record` RunRecords (one per engine)."""
+    from ..obs.record import run_record
+
+    out = []
+    for r in records:
+        for variant, wall in (
+            ("engine-reference", r["slow_wall_s"]),
+            ("engine-fastpath", r["fast_wall_s"]),
+        ):
+            out.append(
+                run_record(
+                    r["bench"],
+                    variant,
+                    r["input"],
+                    r["cycles"],
+                    ok=True,
+                    extra={
+                        "wall_s": wall,
+                        "perf_scale": r["scale"],
+                        "perf_speedup": r["speedup"],
+                    },
+                )
+            )
+    return out
+
+
+def main_cli(args):
+    """Entry point behind ``repro bench perf`` (argparse namespace in)."""
+    from ..obs import log
+
+    scale = "full" if getattr(args, "full", False) else "quick"
+    if getattr(args, "quick", False):
+        scale = "quick"
+    benches = args.benches or None
+    started = time.perf_counter()
+    try:
+        records = run_perf(
+            benches=benches, scale=scale, repeats=args.repeats, jobs=args.jobs or 1
+        )
+    except PerfError as exc:
+        print("perf: ERROR: %s" % exc)
+        return 1
+    agg = aggregate(records)
+
+    if args.json:
+        print(json.dumps(baseline_payload(records, scale), indent=2, sort_keys=True))
+    else:
+        print(render_table(records, agg))
+
+    if args.metrics_out:
+        from ..obs.record import write_jsonl
+
+        write_jsonl(obs_records(records), args.metrics_out)
+        log("perf: %d RunRecords -> %s", 2 * len(records), args.metrics_out)
+
+    status = 0
+    if args.update_baseline:
+        write_baseline(records, scale, path=args.baseline)
+        print("perf: baseline updated -> %s" % args.baseline)
+    elif args.check_baseline:
+        if not os.path.exists(args.baseline):
+            print("perf: ERROR: baseline %s not found" % args.baseline)
+            return 1
+        try:
+            baseline = read_baseline(args.baseline)
+        except (PerfError, ValueError) as exc:
+            print("perf: ERROR: %s" % exc)
+            return 1
+        errors, warnings = check_against_baseline(
+            records, baseline, threshold=args.threshold
+        )
+        for line in warnings:
+            print("perf: WARNING: %s" % line)
+        for line in errors:
+            print("perf: ERROR: %s" % line)
+        if errors:
+            status = 1
+        elif getattr(args, "strict", False) and warnings:
+            status = 1
+        else:
+            print(
+                "perf: baseline check ok (%d records, aggregate %.2fx vs "
+                "baseline %.2fx)"
+                % (len(records), agg["speedup"], baseline["aggregate"]["speedup"])
+            )
+    log("perf: %.1fs total", time.perf_counter() - started)
+    return status

@@ -206,6 +206,9 @@ def cached_compile(function, options):
     if value is not None:
         pipeline = value.clone()
         pipeline.intrinsics = dict(function.intrinsics)
+        # Engine choice is not part of the cache key (both engines share
+        # entries), so restamp the caller's preference on the way out.
+        pipeline.meta["fastpath"] = options.fastpath
         return pipeline
     pipeline = compile_function(function, options=options)
     stored = pipeline.clone()

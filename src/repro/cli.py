@@ -341,7 +341,24 @@ def _cmd_figures(args):
     return 0
 
 
+def _cmd_bench_perf(args):
+    from . import obs
+    from .bench import perf as perfmod
+
+    if args.quiet:
+        obs.set_quiet(True)
+    for bench in args.benches:
+        if bench not in perfmod.SCALES["quick"]:
+            print(
+                "unknown benchmark %r (choose from %s)"
+                % (bench, ", ".join(sorted(perfmod.SCALES["quick"])))
+            )
+            return 2
+    return perfmod.main_cli(args)
+
+
 def build_parser():
+    from .bench import perf as perfmod
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Phloem reproduction: compile, simulate, and evaluate.",
@@ -427,6 +444,64 @@ def build_parser():
     )
     trace.add_argument("--quiet", action="store_true", help="silence stderr telemetry")
     trace.set_defaults(func=_cmd_trace)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark harness utilities (currently: perf)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    perf = bench_sub.add_parser(
+        "perf",
+        help="time the simulator itself: fast path vs reference interpreter",
+    )
+    perf.add_argument(
+        "benches", nargs="*", metavar="BENCH",
+        help="kernels to measure (default: all of bfs cc prd radii spmm)",
+    )
+    perf.add_argument(
+        "--quick", action="store_true",
+        help="QUICK-scale inputs (the committed-baseline scale; the default)",
+    )
+    perf.add_argument(
+        "--full", action="store_true",
+        help="larger inputs for patient local measurement",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=2,
+        help="timed runs per engine; the minimum wall time is kept (default 2)",
+    )
+    perf.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (cycles are unaffected; wall times contend)",
+    )
+    perf.add_argument(
+        "--baseline", default=perfmod.BASELINE_FILE, metavar="FILE.json",
+        help="baseline file (default: %s in the working directory)"
+        % perfmod.BASELINE_FILE,
+    )
+    perf.add_argument(
+        "--check-baseline", action="store_true",
+        help="compare against the baseline: cycle changes are errors, "
+        "wall-time regressions warn",
+    )
+    perf.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the fresh measurements to the baseline file",
+    )
+    perf.add_argument(
+        "--threshold", type=float, default=perfmod.DEFAULT_THRESHOLD,
+        help="fractional wall-time tolerance before warning (default 0.25)",
+    )
+    perf.add_argument(
+        "--strict", action="store_true",
+        help="treat wall-time warnings as failures (off in CI: boxes are noisy)",
+    )
+    perf.add_argument("--json", action="store_true", help="JSON instead of the table")
+    perf.add_argument(
+        "--metrics-out", default=None, metavar="FILE.jsonl",
+        help="also write repro.obs RunRecords for both engines",
+    )
+    perf.add_argument("--quiet", action="store_true", help="silence stderr telemetry")
+    perf.set_defaults(func=_cmd_bench_perf)
 
     metrics = sub.add_parser(
         "metrics", help="run the comparison suite and emit JSONL RunRecords"

@@ -58,6 +58,12 @@ class CompileOptions:
     #: verification never changes the compiled pipeline, so a verified and
     #: an unverified compile must share cache entries.
     verify_each: bool = False
+    #: Run compiled pipelines on the closure-compiled fast path
+    #: (:mod:`repro.pipette.fastpath`). Recorded in ``pipeline.meta`` for
+    #: the machine to honor; like ``verify_each``, NOT part of cache_key()
+    #: — the engine choice never changes the compiled pipeline, so both
+    #: engines must share cache entries.
+    fastpath: bool = True
 
     def __post_init__(self):
         object.__setattr__(self, "passes", tuple(self.passes))
@@ -232,6 +238,7 @@ def compile_function(
     run("finalize", pipeline, finalize)
     pipeline.meta["requested_stages"] = options.num_stages
     pipeline.meta["pass_set"] = list(passes)
+    pipeline.meta["fastpath"] = options.fastpath
     if function.pragmas.get("replicate"):
         # `#pragma replicate N`: record the request; the caller materializes
         # the replicas with core.replicate.replicate_pipeline (Sec. IV-C).

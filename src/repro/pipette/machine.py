@@ -10,6 +10,7 @@ full statistics the evaluation figures need.
 
 from ..errors import ResourceError, SimulationError
 from ..ir.verifier import verify_pipeline
+from .fastpath import FastStageInterp, resolve_fastpath
 from .interp import ArrayBinding, StageInterp, ThreadCtx
 from .mem import AddressMap, MemorySystem
 from .queues import HWQueue
@@ -141,14 +142,20 @@ class Machine:
     cycle-domain event tracing: scheduler spans, stall intervals, queue
     occupancy samples, and RA loads. With the default ``None`` no event
     buffer exists and the simulation is unchanged.
+
+    ``fastpath`` selects the stage execution engine: ``None`` defers to
+    ``REPRO_SLOWPATH`` / each pipeline's ``meta["fastpath"]``; ``True`` /
+    ``False`` force the closure-compiled fast path or the reference
+    interpreter (both produce bit-identical :class:`SimStats`).
     """
 
-    def __init__(self, config, tracer=None):
+    def __init__(self, config, tracer=None, fastpath=None):
         self.config = config
         self.stats = None
         self.mem = None
         self.envs = []
         self.tracer = tracer
+        self.fastpath = fastpath
 
     def run(self, specs, barrier_cost=30.0):
         """Run the given :class:`RunSpec` list to completion.
@@ -184,6 +191,11 @@ class Machine:
         for replica, spec in enumerate(specs):
             pipeline = spec.pipeline
             verify_pipeline(pipeline, max_queues=config.max_queues, max_ras=config.max_ras)
+            engine = (
+                FastStageInterp
+                if resolve_fastpath(pipeline, self.fastpath)
+                else StageInterp
+            )
             env = RunEnv(self, replica, spec, stats)
             env.shared = shared_cells
             self.envs.append(env)
@@ -234,7 +246,7 @@ class Machine:
                 missing = [p for p in pipeline.scalar_params if p not in spec.scalars]
                 if missing:
                     raise SimulationError("run: scalar params %s not bound" % missing)
-                interp = StageInterp(stage, ctx, env)
+                interp = engine(stage, ctx, env)
                 task.clock_ref = lambda c=ctx: c.cursor
                 scheduler.add(task, interp.run())
                 stage_tasks.append((task, ctx))

@@ -27,17 +27,21 @@ class Cache:
             self.sets[index] = [tag]
             self.stats.misses += 1
             return False
+        if entry[0] == tag:
+            # MRU hit: streaming accesses land here, skipping the list scan
+            # and the LRU reorder (a no-op at position 0).
+            self.stats.hits += 1
+            return True
         try:
-            pos = entry.index(tag)
+            pos = entry.index(tag, 1)
         except ValueError:
             self.stats.misses += 1
             entry.insert(0, tag)
             if len(entry) > self.ways:
                 entry.pop()
             return False
-        if pos:
-            del entry[pos]
-            entry.insert(0, tag)
+        del entry[pos]
+        entry.insert(0, tag)
         self.stats.hits += 1
         return True
 
@@ -137,30 +141,66 @@ class MemorySystem:
         ``stream_id`` identifies the accessed array for the stride
         prefetcher. Stores are write-allocate and write-back; their latency
         is hidden by the store buffer, so callers usually ignore it.
+
+        The L1 lookup is inlined (not a :meth:`Cache.access` call) because
+        this is the hottest function in the simulator: the MRU compare
+        catches streaming accesses, the membership test avoids raising
+        ``ValueError`` for every L1 miss, and the tag is installed directly
+        instead of via a redundant post-lookup ``fill``. Tag state, LRU
+        order, and hit/miss counters end up exactly as the plain
+        lookup-then-fill sequence would leave them.
         """
         cfg = self.config
         line = addr >> self.LINE_SHIFT
         l1 = self.l1[core]
-        if l1.access(line):
+        sets = l1.sets
+        index = line % l1.sets_count
+        tag = line // l1.sets_count
+        entry = sets.get(index)
+        if entry is not None and entry[0] == tag:
+            l1.stats.hits += 1
+            latency = cfg.l1.latency
+        elif entry is not None and tag in entry:
+            pos = entry.index(tag, 1)
+            del entry[pos]
+            entry.insert(0, tag)
+            l1.stats.hits += 1
             latency = cfg.l1.latency
         else:
-            l2 = self.l2[core]
-            if l2.access(line):
-                latency = cfg.l2.latency
-            elif self.l3.access(line):
-                latency = cfg.l3.latency
-                l2.fill(line)
+            if entry is None:
+                sets[index] = [tag]
             else:
-                latency = cfg.l3.latency + self._dram(line, now)
-                self.l3.fill(line)
-                l2.fill(line)
-            l1.fill(line)
+                entry.insert(0, tag)
+                if len(entry) > l1.ways:
+                    entry.pop()
+            l1.stats.misses += 1
+            latency = self.miss_below_l1(core, line, now)
 
         if cfg.prefetch_enabled and stream_id is not None and not is_store:
             stride = self.prefetchers[core].observe(stream_id, line)
             if stride:
                 for step in range(1, cfg.prefetch_degree + 1):
                     self._prefetch(core, line + stride * step, now + latency)
+        return latency
+
+    def miss_below_l1(self, core, line, now):
+        """L2 -> L3 -> DRAM walk after an L1 miss; returns the latency.
+
+        The caller has already updated L1 tag state and counters (the L1
+        install is part of the miss handling, not of this walk), which lets
+        the fast-path load closures inline the L1 lookup and share this
+        method for the miss side.
+        """
+        cfg = self.config
+        l2 = self.l2[core]
+        if l2.access(line):
+            return cfg.l2.latency
+        if self.l3.access(line):
+            l2.fill(line)
+            return cfg.l3.latency
+        latency = cfg.l3.latency + self._dram(line, now)
+        self.l3.fill(line)
+        l2.fill(line)
         return latency
 
     def _prefetch(self, core, line, now):

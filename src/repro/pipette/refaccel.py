@@ -15,13 +15,19 @@ input queue is another RA's output queue.
 RAs run as daemon tasks: they loop forever and the simulation ends when all
 stage threads are done. Control values are forwarded downstream unchanged
 so end-of-stream markers survive offloading.
+
+``run()`` is a single generator with the queue fast paths inlined: an RA
+moves one value per resume in steady state, so paying a fresh sub-generator
+(plus ``yield from`` plumbing) per value tripled the interpreter overhead
+of every offloaded load. Only the *blocked* branches remain loops around
+``yield BLOCKED``; the logic and timing arithmetic are unchanged.
 """
 
 from collections import deque
 
 from ..errors import SimulationError
 from ..ir.program import RA_INDIRECT, RA_SCAN
-from ..ir.values import is_control
+from ..ir.values import Ctrl, is_control
 from .sched import BLOCKED
 
 
@@ -37,106 +43,215 @@ class RAEngine:
         self.last_delivery = 0.0
         self.tracer = env.machine.tracer
 
-    # -- blocking queue helpers (RA-side) ----------------------------------
-
-    def _deq(self, queue):
-        while True:
-            res = queue.try_deq(self.clock)
-            if res is not None:
-                value, t = res
-                if t > self.clock:
-                    self.clock = t
-                return value
-            self.task.block(("ra-deq", queue.qid))
-            queue.waiting_consumers.append(self.task)
-            yield BLOCKED
-
-    def _enq(self, queue, value):
-        while True:
-            t = queue.try_enq(self.clock, value)
-            if t is not None:
-                if t > self.clock:
-                    self.clock = t
-                return
-            self.task.block(("ra-enq", queue.qid))
-            queue.waiting_producers.append(self.task)
-            yield BLOCKED
-
-    # -- the load pipeline --------------------------------------------------
-
-    def _load_and_deliver(self, binding, index, out_queue):
-        """Issue one load and enqueue its value, preserving delivery order.
+    def run(self):
+        """Main RA loop (a daemon task generator).
 
         ``self.clock`` is the engine's *front* clock: it advances with input
         consumption and load issue, throttled only by the MSHR bound, so up
         to ``ra_mshrs`` loads overlap — the memory-level parallelism an RA
-        exists to provide. Deliveries carry their own (in-order) timestamps;
-        a full output queue backpressures the front.
+        exists to provide. Deliveries carry their own (in-order) timestamps.
         """
-        if len(self.inflight) >= self.env.machine.config.ra_mshrs:
-            oldest = self.inflight.popleft()
-            if oldest > self.clock:
-                self.clock = oldest
-        start = self.clock
-        addr = binding.base + index * binding.elem_size
-        latency = self.env.machine.mem.access(self.env.core, addr, start, stream_id=binding.name)
-        completion = start + latency
-        if self.tracer is not None:
-            self.tracer.ra_load(self.task.name, start, completion)
-        self.inflight.append(completion)
-        self.clock += 1  # one engine slot per accepted request
-        try:
-            value = binding.data[index]
-        except IndexError:
-            raise SimulationError(
-                "RA %d: load %s[%d] out of bounds (len %d)"
-                % (self.spec.raid, self.spec.array, index, len(binding.data))
-            )
-        delivery = max(completion, self.last_delivery)
-        self.env.stats.ra_loads += 1
-        while True:
-            t = out_queue.try_enq(delivery, value)
-            if t is not None:
-                self.last_delivery = max(delivery, t)
-                if t > delivery and t - latency > self.clock:
-                    # Output backpressure: stall the front correspondingly.
-                    self.clock = t - latency
-                return
-            self.task.block(("ra-enq", out_queue.qid))
-            out_queue.waiting_producers.append(self.task)
-            yield BLOCKED
-
-    def run(self):
-        """Main RA loop (a daemon task generator)."""
         env = self.env
         spec = self.spec
+        task = self.task
         in_queue = env.queues[spec.in_queue]
         out_queue = env.queues[spec.out_queue]
+        try_deq = in_queue.try_deq
+        try_enq = out_queue.try_enq
+        deq_block = ("ra-deq", in_queue.qid)
+        enq_block = ("ra-enq", out_queue.qid)
         binding = env.arrays.get(spec.array[1:] if spec.array.startswith("@") else spec.array)
         if binding is None:
             raise SimulationError("RA %d bound to unknown array %s" % (spec.raid, spec.array))
+        scan = spec.mode == RA_SCAN
+        if not scan and spec.mode != RA_INDIRECT:
+            raise SimulationError("RA %d: unknown mode %r" % (spec.raid, spec.mode))
+        tracer = self.tracer
+        tname = task.name
+        stats = env.stats
+        inflight = self.inflight
+        mshr_cap = env.machine.config.ra_mshrs
+        core = env.core
+        base = binding.base
+        esize = binding.elem_size
+        data = binding.data
+        sname = binding.name
+        # Inline L1 lookup + prefetch observation (MemorySystem.access):
+        # same block the fast-path load closures use; only the below-L1
+        # miss walk stays a call. Tag state and counters match exactly.
+        mem = env.machine.mem
+        mcfg = mem.config
+        shift = mem.LINE_SHIFT
+        l1 = mem.l1[core]
+        l1_sets = l1.sets
+        scount = l1.sets_count
+        l1_ways = l1.ways
+        l1_stats = l1.stats
+        l1_lat = mcfg.l1.latency
+        pf_on = mcfg.prefetch_enabled
+        pf_deg = mcfg.prefetch_degree
+        below_l1 = mem.miss_below_l1
+        pf_streams = mem.prefetchers[core].streams
+        max_stride = mem.prefetchers[core].MAX_STRIDE
+        prefetch_one = mem._prefetch
+        # Inline queue fast paths (queues.py try_deq/try_enq): the RA moves
+        # one value per iteration in steady state, so the per-value call
+        # overhead is pure dispatch tax. Blocked/retry paths keep the calls.
+        in_entries = in_queue.entries
+        in_slot_free = in_queue.slot_free
+        in_tracer = in_queue.tracer
+        out_slot_free = out_queue.slot_free
+        out_entries = out_queue.entries
+        out_lat = out_queue.latency
+        out_tracer = out_queue.tracer
 
-        if spec.mode == RA_INDIRECT:
-            while True:
-                value = yield from self._deq(in_queue)
-                if is_control(value):
-                    if spec.forward_ctrl:
-                        yield from self._enq(out_queue, value)
-                    continue
-                yield from self._load_and_deliver(binding, value, out_queue)
-        elif spec.mode == RA_SCAN:
-            while True:
-                start = yield from self._deq(in_queue)
-                if is_control(start):
-                    if spec.forward_ctrl:
-                        yield from self._enq(out_queue, start)
-                    continue
-                end = yield from self._deq(in_queue)
+        while True:
+            # deq one input value (blocking); try_deq inlined
+            if in_entries:
+                value, avail = in_entries.popleft()
+                t = avail if avail > self.clock else self.clock
+                in_slot_free.append(t)
+                in_queue.total_deqs += 1
+                if in_tracer is not None:
+                    in_tracer.counter(in_queue.label, t, len(in_entries))
+                if in_queue.waiting_producers:
+                    waiters = in_queue.waiting_producers
+                    in_queue.waiting_producers = []
+                    for waiter in waiters:
+                        waiter.wake()
+            else:
+                in_queue.empty_blocks += 1
+                res = None
+                while res is None:
+                    task.block(deq_block)
+                    in_queue.waiting_consumers.append(task)
+                    yield BLOCKED
+                    res = try_deq(self.clock)
+                value, t = res
+            if t > self.clock:
+                self.clock = t
+
+            if type(value) is Ctrl:
+                if spec.forward_ctrl:
+                    # forward the marker downstream (blocking enq)
+                    t = try_enq(self.clock, value)
+                    while t is None:
+                        task.block(enq_block)
+                        out_queue.waiting_producers.append(task)
+                        yield BLOCKED
+                        t = try_enq(self.clock, value)
+                    if t > self.clock:
+                        self.clock = t
+                continue
+
+            if scan:
+                # second half of the (start, end) pair
+                res = try_deq(self.clock)
+                while res is None:
+                    task.block(deq_block)
+                    in_queue.waiting_consumers.append(task)
+                    yield BLOCKED
+                    res = try_deq(self.clock)
+                end, t = res
+                if t > self.clock:
+                    self.clock = t
                 if is_control(end):
                     raise SimulationError(
                         "RA %d (scan): control value arrived mid-pair" % spec.raid
                     )
-                for index in range(start, end):
-                    yield from self._load_and_deliver(binding, index, out_queue)
-        else:
-            raise SimulationError("RA %d: unknown mode %r" % (spec.raid, spec.mode))
+                indices = range(value, end)
+            else:
+                indices = (value,)
+
+            for index in indices:
+                # issue one load: MSHR throttle, L1 lookup, in-order delivery
+                if len(inflight) >= mshr_cap:
+                    oldest = inflight.popleft()
+                    if oldest > self.clock:
+                        self.clock = oldest
+                start = self.clock
+                addr = base + index * esize
+                line = addr >> shift
+                sindex = line % scount
+                tag = line // scount
+                entry = l1_sets.get(sindex)
+                if entry is not None and entry[0] == tag:
+                    l1_stats.hits += 1
+                    latency = l1_lat
+                elif entry is not None and tag in entry:
+                    pos = entry.index(tag, 1)
+                    del entry[pos]
+                    entry.insert(0, tag)
+                    l1_stats.hits += 1
+                    latency = l1_lat
+                else:
+                    if entry is None:
+                        l1_sets[sindex] = [tag]
+                    else:
+                        entry.insert(0, tag)
+                        if len(entry) > l1_ways:
+                            entry.pop()
+                    l1_stats.misses += 1
+                    latency = below_l1(core, line, start)
+                if pf_on:
+                    # stride observe (_StreamTable.observe, mem.py), inlined
+                    sentry = pf_streams.get(sname)
+                    if sentry is None:
+                        pf_streams[sname] = (line, 0, 0)
+                    else:
+                        last_line, pstride, prun = sentry
+                        delta = line - last_line
+                        if delta != 0:
+                            if delta == pstride and 0 < abs(pstride) <= max_stride:
+                                prun = prun + 1 if prun < 8 else 8
+                                pf_streams[sname] = (line, pstride, prun)
+                                if prun >= 2:
+                                    later = start + latency
+                                    for k in range(1, pf_deg + 1):
+                                        prefetch_one(core, line + pstride * k, later)
+                            else:
+                                pf_streams[sname] = (line, delta, 1)
+                completion = start + latency
+                if tracer is not None:
+                    tracer.ra_load(tname, start, completion)
+                inflight.append(completion)
+                self.clock += 1  # one engine slot per accepted request
+                try:
+                    loaded = data[index]
+                except IndexError:
+                    raise SimulationError(
+                        "RA %d: load %s[%d] out of bounds (len %d)"
+                        % (spec.raid, spec.array, index, len(data))
+                    )
+                delivery = self.last_delivery
+                if completion > delivery:
+                    delivery = completion
+                stats.ra_loads += 1
+                # enq the delivery (blocking); try_enq inlined
+                if out_slot_free:
+                    freed_at = out_slot_free.popleft()
+                    t = freed_at if freed_at > delivery else delivery
+                    out_entries.append((loaded, t + out_lat))
+                    out_queue.total_enqs += 1
+                    occupancy = len(out_entries)
+                    if occupancy > out_queue.max_occupancy:
+                        out_queue.max_occupancy = occupancy
+                    if out_tracer is not None:
+                        out_tracer.counter(out_queue.label, t, occupancy)
+                    if out_queue.waiting_consumers:
+                        waiters = out_queue.waiting_consumers
+                        out_queue.waiting_consumers = []
+                        for waiter in waiters:
+                            waiter.wake()
+                else:
+                    out_queue.full_blocks += 1
+                    t = None
+                    while t is None:
+                        task.block(enq_block)
+                        out_queue.waiting_producers.append(task)
+                        yield BLOCKED
+                        t = try_enq(delivery, loaded)
+                self.last_delivery = delivery if delivery > t else t
+                if t > delivery and t - latency > self.clock:
+                    # Output backpressure: stall the front correspondingly.
+                    self.clock = t - latency

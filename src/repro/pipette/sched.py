@@ -38,7 +38,11 @@ class Task:
 
     @property
     def time(self):
-        return self.clock_ref() if self.clock_ref is not None else 0.0
+        # Always a float: heap keys must never mix int clocks (an RA's
+        # integer cycle counter) with float stage cursors, or ordering ties
+        # would compare tuples of unlike-typed keys.
+        clock = self.clock_ref
+        return float(clock()) if clock is not None else 0.0
 
     def wake(self):
         if not self.done and not self.runnable:
@@ -146,16 +150,23 @@ class Scheduler:
 
     def _push(self, task):
         self._counter += 1
-        heapq.heappush(self._heap, (task.time, self._counter, task))
+        clock = task.clock_ref
+        key = float(clock()) if clock is not None else 0.0
+        heapq.heappush(self._heap, (key, self._counter, task))
 
     def run(self, max_resumes=200_000_000):
         pending = sum(1 for t in self.tasks if not t.daemon)
         resumes = 0
         tracer = self.tracer
+        heap = self._heap
+        next_task = None
         while pending > 0:
-            task = self._pop_runnable()
-            if task is None:
-                self._report_deadlock()
+            if next_task is not None:
+                task, next_task = next_task, None
+            else:
+                task = self._pop_runnable()
+                if task is None:
+                    self._report_deadlock()
             resumes += 1
             if resumes > max_resumes:
                 raise DeadlockError("simulation exceeded %d task resumes; likely livelock" % max_resumes)
@@ -178,7 +189,14 @@ class Scheduler:
                     tracer.span(task.name, resumed_at, task.time, reason)
                 if task.runnable:
                     # Woken while blocking (enq/deq raced with wake): rerun.
-                    self._push(task)
+                    # Lazy re-push: while the task's clock is strictly below
+                    # every heap key it would be popped right back, so skip
+                    # the push/pop pair. Strictness matters — at equal times
+                    # the earlier-pushed entry must win the counter tie-break.
+                    if not heap or task.time < heap[0][0]:
+                        next_task = task
+                    else:
+                        self._push(task)
 
     def _pop_runnable(self):
         while self._heap:
@@ -262,9 +280,11 @@ class IssueLedger:
             c += 1
         slots = self.slots
         width = self.width
-        while slots.get(c, 0) >= width:
+        n = slots.get(c, 0)
+        while n >= width:
             c += 1
-        slots[c] = slots.get(c, 0) + 1
+            n = slots.get(c, 0)
+        slots[c] = n + 1
         return float(c)
 
     def prune(self, horizon):

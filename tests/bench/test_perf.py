@@ -1,0 +1,191 @@
+"""The simulator perf harness: record shape, baseline checks, determinism.
+
+The determinism tests are the load-bearing ones: they run the harness in
+fresh subprocesses with *different* ``PYTHONHASHSEED`` values and different
+worker counts and require identical ``cycles`` in every record — the guard
+against dict-iteration-order (or any other hash-randomized state) leaking
+into simulated time.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import perf
+
+REPO_ROOT = str(pathlib.Path(__file__).resolve().parents[2])
+
+#: Tiny inputs so harness tests cost milliseconds, not benchmark minutes.
+TINY_INPUTS = {
+    "bfs": ("power_law", {"n": 120, "deg": 3, "seed": 7}),
+    "spmm": ("random_matrix", {"n": 16, "nnz_per_row": 3, "seed": 7}),
+}
+
+
+@pytest.fixture
+def tiny_scale(monkeypatch):
+    monkeypatch.setitem(perf.SCALES, "quick", TINY_INPUTS)
+
+
+def _record(bench="bfs", cycles=1000, slow=2.0, fast=1.0, **over):
+    record = {
+        "schema": perf.PERF_SCHEMA,
+        "version": perf.PERF_VERSION,
+        "bench": bench,
+        "scale": "quick",
+        "input": "power_law(deg=3,n=120,seed=7)",
+        "repeats": 2,
+        "cycles": cycles,
+        "slow_wall_s": slow,
+        "fast_wall_s": fast,
+        "speedup": round(slow / fast, 3),
+        "sim_mcycles_per_s": round(cycles / fast / 1e6, 3),
+        "phases": {},
+    }
+    record.update(over)
+    return record
+
+
+class TestMeasure:
+    def test_measure_bench_record_shape(self, tiny_scale):
+        record = perf.measure_bench("bfs", scale="quick", repeats=1)
+        assert record["schema"] == perf.PERF_SCHEMA
+        assert record["bench"] == "bfs"
+        assert record["cycles"] > 0
+        assert record["slow_wall_s"] > 0 and record["fast_wall_s"] > 0
+        assert record["speedup"] == round(
+            record["slow_wall_s"] / record["fast_wall_s"], 3
+        )
+        assert set(record["phases"]) == {
+            "input_s", "compile_s", "sim_slow_s", "sim_fast_s",
+        }
+
+    def test_repeats_agree_on_cycles(self, tiny_scale):
+        one = perf.measure_bench("spmm", scale="quick", repeats=1)
+        two = perf.measure_bench("spmm", scale="quick", repeats=2)
+        assert one["cycles"] == two["cycles"]
+
+
+class TestAggregate:
+    def test_aggregate_is_total_ratio(self):
+        records = [_record(slow=3.0, fast=1.0), _record(bench="cc", slow=1.0, fast=1.0)]
+        agg = perf.aggregate(records)
+        assert agg["slow_wall_s"] == 4.0
+        assert agg["fast_wall_s"] == 2.0
+        assert agg["speedup"] == 2.0
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        records = [_record()]
+        written = perf.write_baseline(records, "quick", path=path)
+        loaded = perf.read_baseline(path)
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["schema"] == perf.BASELINE_SCHEMA
+        assert loaded["aggregate"]["speedup"] == 2.0
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"schema": "something-else"}')
+        with pytest.raises(perf.PerfError):
+            perf.read_baseline(str(path))
+
+    def test_cycles_mismatch_is_error(self):
+        baseline = perf.baseline_payload([_record(cycles=1000)], "quick")
+        errors, warnings = perf.check_against_baseline(
+            [_record(cycles=1001)], baseline
+        )
+        assert len(errors) == 1 and "cycles changed" in errors[0]
+
+    def test_wall_regression_is_warning_only(self):
+        baseline = perf.baseline_payload([_record(fast=1.0)], "quick")
+        errors, warnings = perf.check_against_baseline(
+            [_record(fast=2.0, slow=4.0)], baseline, threshold=0.25
+        )
+        assert not errors
+        assert any("exceeds baseline" in w for w in warnings)
+
+    def test_within_threshold_is_clean(self):
+        baseline = perf.baseline_payload([_record()], "quick")
+        errors, warnings = perf.check_against_baseline(
+            [_record(fast=1.1, slow=2.2)], baseline, threshold=0.25
+        )
+        assert not errors and not warnings
+
+    def test_input_change_skips_comparison(self):
+        baseline = perf.baseline_payload([_record()], "quick")
+        errors, warnings = perf.check_against_baseline(
+            [_record(cycles=999, input="power_law(deg=9,n=9,seed=9)")], baseline
+        )
+        assert not errors
+        assert any("skipping comparison" in w for w in warnings)
+
+    def test_missing_bench_warns(self):
+        baseline = perf.baseline_payload([_record()], "quick")
+        errors, warnings = perf.check_against_baseline(
+            [_record(bench="radii")], baseline
+        )
+        assert not errors
+        assert any("no baseline record" in w for w in warnings)
+
+
+class TestRendering:
+    def test_table_mentions_every_bench_and_total(self):
+        records = [_record(), _record(bench="cc")]
+        table = perf.render_table(records, perf.aggregate(records))
+        assert "bfs" in table and "cc" in table and "total" in table
+
+    def test_obs_records_one_per_engine(self):
+        out = perf.obs_records([_record()])
+        assert len(out) == 2
+        assert {r["variant"] for r in out} == {"engine-reference", "engine-fastpath"}
+        assert all(r["schema"] == "repro.obs/run-record" for r in out)
+        assert all(r["cycles"] == 1000 for r in out)
+
+
+#: Runs the harness on tiny inputs and prints {bench: cycles} as JSON.
+_DETERMINISM_SCRIPT = """
+import json, sys
+from repro.bench import perf
+perf.SCALES["quick"] = {
+    "bfs": ("power_law", {"n": 120, "deg": 3, "seed": 7}),
+    "spmm": ("random_matrix", {"n": 16, "nnz_per_row": 3, "seed": 7}),
+}
+records = perf.run_perf(scale="quick", repeats=1, jobs=int(sys.argv[1]))
+print(json.dumps({r["bench"]: r["cycles"] for r in records}, sort_keys=True))
+"""
+
+
+def _run_harness(jobs, hashseed, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["PYTHONHASHSEED"] = str(hashseed)
+    env["REPRO_QUIET"] = "1"
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    proc = subprocess.run(
+        [sys.executable, "-c", _DETERMINISM_SCRIPT, str(jobs)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+class TestDeterminism:
+    def test_cycles_identical_across_processes_and_hashseeds(self, tmp_path):
+        first = _run_harness(jobs=1, hashseed=1, tmp_path=tmp_path)
+        second = _run_harness(jobs=1, hashseed=271828, tmp_path=tmp_path)
+        assert first == second
+        assert set(first) == {"bfs", "spmm"}
+
+    def test_cycles_identical_across_worker_counts(self, tmp_path):
+        serial = _run_harness(jobs=1, hashseed=5, tmp_path=tmp_path)
+        fanned = _run_harness(jobs=2, hashseed=5, tmp_path=tmp_path)
+        assert serial == fanned

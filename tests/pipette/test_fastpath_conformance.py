@@ -1,0 +1,166 @@
+"""Differential conformance: fast path ≡ reference interpreter, bit for bit.
+
+Every shipped workload — the five paper benchmarks (static, data-parallel,
+and manual-pipeline variants), the Taco kernels, and the demo figure
+output — runs under both execution engines, and every observable must be
+identical: final arrays, total cycles, the full ``SimStats.summary()``
+(stall buckets, queue traffic, cache hit counts), the Fig. 10 cycle
+breakdown, and the energy model. Any divergence is a fast-path bug by
+definition: the reference interpreter is the oracle.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = str(pathlib.Path(__file__).resolve().parents[2])
+
+from repro.bench.harness import adapter_for
+from repro.core import compile_c, compile_function
+from repro.runtime import run_pipeline
+from repro.workloads.matrices import random_matrix
+
+BENCHES = ("bfs", "cc", "prd", "radii", "spmm")
+
+
+def _both_engines(pipeline, arrays, scalars, config):
+    slow = run_pipeline(pipeline, arrays, scalars, config=config, fastpath=False)
+    fast = run_pipeline(pipeline, arrays, scalars, config=config, fastpath=True)
+    return slow, fast
+
+
+def _assert_identical(slow, fast):
+    assert fast.arrays == slow.arrays
+    assert fast.cycles == slow.cycles
+    assert fast.stats.summary() == slow.stats.summary()
+    assert fast.breakdown() == slow.breakdown()
+    assert fast.energy().as_dict() == slow.energy().as_dict()
+
+
+def _bench_data(name, tiny_graph, micro_graph, small=False):
+    if name == "spmm":
+        return random_matrix(40 if small else 60, 4, seed=3)
+    return micro_graph if small else tiny_graph
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_static_pipeline_conformance(name, tiny_graph, micro_graph, tiny_config):
+    adapter = adapter_for(name)
+    data = _bench_data(name, tiny_graph, micro_graph)
+    arrays, scalars = adapter.env(data)
+    pipeline = compile_function(adapter.function(), num_stages=4)
+    slow, fast = _both_engines(pipeline, arrays, scalars, tiny_config)
+    _assert_identical(slow, fast)
+    assert adapter.check(fast.arrays, data)
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_data_parallel_conformance(name, tiny_graph, micro_graph, tiny_config):
+    adapter = adapter_for(name)
+    data = _bench_data(name, tiny_graph, micro_graph, small=True)
+    arrays, scalars = adapter.dp_env(data, 3)
+    pipeline = adapter.dp_pipeline(3)
+    slow, fast = _both_engines(pipeline, arrays, scalars, tiny_config)
+    _assert_identical(slow, fast)
+
+
+@pytest.mark.parametrize("name", BENCHES)
+def test_manual_pipeline_conformance(name, tiny_graph, micro_graph, tiny_config):
+    adapter = adapter_for(name)
+    data = _bench_data(name, tiny_graph, micro_graph, small=True)
+    arrays, scalars = adapter.env(data)
+    pipeline = adapter.manual()
+    slow, fast = _both_engines(pipeline, arrays, scalars, tiny_config)
+    _assert_identical(slow, fast)
+
+
+def _taco_cases():
+    from repro.taco import (
+        ALPHA,
+        BETA,
+        dense_input,
+        mtmul_kernel,
+        residual_kernel,
+        sddmm_kernel,
+        spmv_kernel,
+    )
+
+    matrix = random_matrix(60, 4, seed=21)
+    cases = []
+    kernel = spmv_kernel()
+    cases.append((kernel, kernel.bind({"A": matrix, "x": dense_input(matrix.ncols, 1)})))
+    kernel = residual_kernel()
+    cases.append(
+        (
+            kernel,
+            kernel.bind(
+                {
+                    "A": matrix,
+                    "x": dense_input(matrix.ncols, 2),
+                    "b": dense_input(matrix.nrows, 3),
+                }
+            ),
+        )
+    )
+    small = random_matrix(25, 4, seed=22)
+    kdim = 6
+    kernel = sddmm_kernel()
+    cases.append(
+        (
+            kernel,
+            kernel.bind(
+                {
+                    "B": small,
+                    "C": (dense_input(small.nrows * kdim, 6), kdim),
+                    "D": (dense_input(kdim * small.ncols, 7), small.ncols),
+                }
+            ),
+        )
+    )
+    kernel = mtmul_kernel()
+    cases.append(
+        (
+            kernel,
+            kernel.bind(
+                {
+                    "A": matrix,
+                    "x": dense_input(matrix.nrows, 4),
+                    "z": dense_input(matrix.ncols, 5),
+                    "alpha": ALPHA,
+                    "beta": BETA,
+                }
+            ),
+        )
+    )
+    return cases
+
+
+def test_taco_kernels_conformance(tiny_config):
+    for kernel, (arrays, scalars) in _taco_cases():
+        pipeline = compile_c(kernel.source, num_stages=4)
+        slow, fast = _both_engines(pipeline, arrays, scalars, tiny_config)
+        _assert_identical(slow, fast)
+
+
+def test_demo_stdout_identical_across_engines(tmp_path):
+    """The figure-facing stdout of ``repro demo`` is engine-independent."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["REPRO_QUIET"] = "1"
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    cmd = [sys.executable, "-m", "repro", "demo", "bfs", "--size", "200", "--seed", "3"]
+
+    env.pop("REPRO_SLOWPATH", None)
+    fast = subprocess.run(
+        cmd, capture_output=True, text=True, env=env, cwd=REPO_ROOT
+    )
+    env["REPRO_SLOWPATH"] = "1"
+    slow = subprocess.run(
+        cmd, capture_output=True, text=True, env=env, cwd=REPO_ROOT
+    )
+    assert fast.returncode == 0, fast.stderr
+    assert slow.returncode == 0, slow.stderr
+    assert fast.stdout == slow.stdout

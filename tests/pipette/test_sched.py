@@ -151,6 +151,42 @@ class TestIssueLedger:
         assert ledger.acquire(5000.0) == 5000.0
 
 
+class TestClockNormalization:
+    """Heap keys must never mix int and float clocks.
+
+    Reference accelerators keep an *integer* front clock while stage
+    cursors are floats; ``Task.time`` normalizes both to float so heap
+    tuples always compare like-typed keys, and the FIFO counter (not task
+    identity) breaks exact ties.
+    """
+
+    def test_time_is_float_for_int_clock(self):
+        task = Task("ra")
+        task.clock_ref = lambda: 5  # RA-style integer cycle counter
+        assert type(task.time) is float and task.time == 5.0
+
+    def test_time_is_float_before_clock_ref_is_set(self):
+        assert type(Task("unbound").time) is float
+
+    def test_heap_order_with_mixed_clock_types_and_ties(self):
+        log = []
+        sched = Scheduler()
+        clocks = {"int-clock": 7, "float-clock": 7.0, "late": 9.5}
+        for name, now in clocks.items():
+            task = Task(name)
+            task.clock_ref = (lambda t: lambda: t)(now)
+
+            def gen(name=name):
+                log.append(name)
+                if False:
+                    yield
+
+            sched.add(task, gen())
+        sched.run()
+        # equal-time tasks run in push (FIFO) order regardless of clock type
+        assert log == ["int-clock", "float-clock", "late"]
+
+
 def test_shared_cells():
     cells = SharedCells()
     assert cells.read("x") == 0

@@ -92,6 +92,33 @@ def test_compiled_equals_serial(source, passes, num_stages, seed):
     assert result.arrays["out"] == serial.arrays["out"], (source, passes, num_stages)
 
 
+@settings(max_examples=20, deadline=None)
+@given(kernels(), pass_subsets(), st.integers(1, 4), st.integers(0, 10_000))
+def test_fastpath_matches_reference_interpreter(source, passes, num_stages, seed):
+    """Differential fuzzing of the execution engines.
+
+    Whatever pipeline the compiler produces, the closure-compiled fast path
+    must agree with the reference interpreter on *time*, not just memory:
+    final arrays, total cycles, and every ``SimStats.summary()`` field.
+    Hypothesis shrinks the kernel on the first divergence, so a failure
+    lands as a minimal irregular program plus the pass subset that built
+    the offending pipeline.
+    """
+    function = compile_source(source)
+    config = MachineConfig()
+    arrays = _env(seed)
+    scalars = {"n": N}
+    try:
+        pipeline = compile_function(function, num_stages=num_stages, passes=passes)
+    except PhloemError:
+        return
+    slow = run_pipeline(pipeline, arrays, scalars, config=config, fastpath=False)
+    fast = run_pipeline(pipeline, arrays, scalars, config=config, fastpath=True)
+    assert fast.arrays["out"] == slow.arrays["out"], (source, passes, num_stages)
+    assert fast.cycles == slow.cycles, (source, passes, num_stages)
+    assert fast.stats.summary() == slow.stats.summary(), (source, passes, num_stages)
+
+
 PHASED = """
 void k(const int* restrict a, const int* restrict idx,
        int* restrict out, int n) {
