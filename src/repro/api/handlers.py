@@ -1,0 +1,356 @@
+"""One entry point per verb: ``handle(request) -> Response``.
+
+The bodies of the one-shot CLI verbs live here, behind the typed requests
+of :mod:`repro.api.requests`. Each runner prints exactly what the
+pre-service CLI printed — :func:`handle` captures that stdout into
+``Response.output``, so ``repro emit`` and a daemon-submitted
+:class:`~repro.api.requests.CompileRequest` produce byte-identical
+payloads from the same code path. Alongside the text, runners collect the
+structured record stream (RunRecords, diagnostics, perf records) into
+``Response.records`` for JSONL streaming, and :func:`handle` stamps the
+per-request :mod:`repro.cache` hit/miss delta into ``Response.cache``.
+
+Telemetry stays on stderr through :mod:`repro.obs.log` and is therefore
+*server-side* under a daemon; per-request ``quiet`` flags are restored
+after every request so a long-lived worker never leaks one client's
+preference into the next request.
+"""
+
+import contextlib
+import io
+import json as _json
+
+from .. import cache
+from ..core import ALL_PASSES, CompileOptions, compile_function, emit_pipeline, pipeline_summary
+from ..frontend import compile_source
+from ..ir import format_pipeline
+from ..obs import get_quiet, set_quiet
+from ..pipette import SCALED_1CORE
+from .requests import RESPONSE_FOR_VERB, ApiError, Request
+
+#: The variants ``demo``/``metrics`` run and print, in order (all use the
+#: unified adapter + run_suite path; "phloem-static" is the compiled
+#: pipeline).
+DEMO_VARIANTS = ("serial", "data-parallel", "phloem-static", "manual")
+
+
+def _passes_option(text):
+    """CLI-style pass subset: None = all, else comma-separated names."""
+    if text is None:
+        return ALL_PASSES
+    return tuple(p for p in text.split(",") if p)
+
+
+def _demo_input(bench, size, seed):
+    """One synthetic input item for ``demo``-family verbs (graph/matrix)."""
+    from ..workloads.datasets import GraphInput, MatrixInput
+    from ..workloads.graphs import uniform_random
+    from ..workloads.matrices import random_matrix
+
+    if bench == "spmm":
+        return MatrixInput(
+            "demo", "synthetic", lambda: random_matrix(max(40, size // 40), 8, seed=seed)
+        )
+    return GraphInput("demo", "synthetic", lambda: uniform_random(size, 5, seed=seed))
+
+
+# ---------------------------------------------------------------------------
+# Per-verb runners: print the one-shot payload, return
+# ``(exit_code, records, extras)``
+
+
+def _run_emit(req):
+    function = compile_source(req.source, name=req.name)
+    options = CompileOptions(
+        num_stages=req.stages, passes=_passes_option(req.passes), verify_each=req.verify_each
+    )
+    pipeline = compile_function(function, options=options)
+    summary = pipeline_summary(pipeline)
+    if req.fmt == "summary":
+        print(summary)
+    elif req.fmt == "ir":
+        print(format_pipeline(pipeline))
+    elif req.fmt == "diagram":
+        from ..core.viz import ascii_diagram
+
+        print(ascii_diagram(pipeline))
+    else:
+        print(emit_pipeline(pipeline))
+    return 0, [], {"summary": summary}
+
+
+def _run_lint(req):
+    from ..analysis.sanitize import lint_source
+
+    targets = []
+    if req.bench is not None:
+        from ..workloads import ALL_BENCHMARKS
+
+        if req.bench != "all" and req.bench not in ALL_BENCHMARKS:
+            print(
+                "unknown benchmark %r (choose from %s, all)"
+                % (req.bench, ", ".join(sorted(ALL_BENCHMARKS)))
+            )
+            return 2, [], {}
+        names = sorted(ALL_BENCHMARKS) if req.bench == "all" else [req.bench]
+        for bench in names:
+            targets.append((bench, ALL_BENCHMARKS[bench].SOURCE, None, None))
+    if req.source is not None:
+        targets.append((req.file, req.source, req.name, req.file))
+    if not targets:
+        print("lint: give a FILE.c, --bench NAME, or --bench all")
+        return 2, [], {}
+
+    options = CompileOptions(
+        num_stages=req.stages, passes=_passes_option(req.passes), verify_each=req.verify_each
+    )
+    failed = False
+    errors = warnings = 0
+    reports = []
+    records = []
+    for label, source, name, path in targets:
+        diags = lint_source(source, name=name, options=options, file=path)
+        failed = failed or diags.has_errors
+        errors += len(diags.errors())
+        warnings += len(diags.warnings())
+        records.extend(dict(d.as_dict(), target=label) for d in diags.sorted())
+        if req.json:
+            reports.append(
+                {
+                    "target": label,
+                    "diagnostics": [d.as_dict() for d in diags.sorted()],
+                    "errors": len(diags.errors()),
+                    "warnings": len(diags.warnings()),
+                }
+            )
+        elif len(diags) == 0:
+            print("%s: clean" % label)
+        else:
+            print("%s:" % label)
+            for line in diags.render_text().splitlines():
+                print("  " + line)
+    if req.json:
+        print(_json.dumps(reports, indent=2, sort_keys=True))
+    return (1 if failed else 0), records, {"errors": errors, "warnings": warnings}
+
+
+def _run_demo(req):
+    from ..bench.harness import adapter_for, run_suite
+    from ..obs import records_from_suite
+
+    adapter = adapter_for(req.bench)
+    item = _demo_input(req.bench, req.size, req.seed)
+    print("input: %r" % item.build())
+    suite = run_suite(
+        adapter,
+        [item],
+        [],
+        config=SCALED_1CORE,
+        variants=DEMO_VARIANTS,
+        options=CompileOptions(num_stages=req.stages),
+    )
+    print("phloem pipeline: %s\n" % pipeline_summary(suite["_meta"]["phloem-static"]))
+    base = suite["serial"][0].cycles
+    print("%-16s %14s %9s %6s" % ("variant", "cycles", "speedup", "ok"))
+    for name in DEMO_VARIANTS:
+        run = suite[name][0]
+        print("%-16s %14.0f %8.2fx %6s" % (name, run.cycles, base / run.cycles, run.ok))
+    ok = all(suite[name][0].ok for name in DEMO_VARIANTS)
+    records = records_from_suite(req.bench, suite)
+    speedup = base / suite["phloem-static"][0].cycles
+    return (0 if ok else 1), records, {"speedup": speedup}
+
+
+def _run_search(req):
+    from ..bench.harness import adapter_for, profile_guided_pipeline
+    from ..bench.report import render_distribution
+    from ..core.autotune import speedup_distribution
+    from ..workloads import datasets
+
+    adapter = adapter_for(req.bench)
+    train = datasets.TRAIN_MATRICES_SPMM if req.bench == "spmm" else datasets.TRAIN_GRAPHS
+    best, results = profile_guided_pipeline(adapter, train, config=SCALED_1CORE)
+    print(
+        render_distribution(
+            "training-set speedups by pipeline length",
+            {req.bench: speedup_distribution(results)},
+        )
+    )
+    records = [
+        {"indices": list(r.indices), "units": r.num_units, "speedup": r.speedup}
+        for r in results
+    ]
+    best_dict = None
+    if best is not None:
+        print("\nbest: %r" % best)
+        print("      %s" % pipeline_summary(best.pipeline))
+        best_dict = {
+            "indices": list(best.indices),
+            "units": best.num_units,
+            "speedup": best.speedup,
+            "summary": pipeline_summary(best.pipeline),
+        }
+    return 0, records, {"best": best_dict}
+
+
+def _run_trace(req):
+    from .. import obs
+    from ..bench.harness import adapter_for
+    from ..runtime.executor import run_pipeline
+
+    if req.quiet:
+        obs.set_quiet(True)
+    adapter = adapter_for(req.bench)
+    item = _demo_input(req.bench, req.size, req.seed)
+    data = item.build()
+    arrays, scalars = adapter.env(data)
+    function = adapter.function()
+    options = CompileOptions(num_stages=req.stages)
+
+    cache_before = cache.stats_snapshot()
+    profiler = obs.PassProfiler() if req.profile_passes else None
+    if profiler is not None:
+        pipeline = compile_function(function, options=options, profiler=profiler)
+    else:
+        pipeline = cache.cached_compile(function, options)
+
+    serial = cache.cached_serial_run(function, arrays, scalars, SCALED_1CORE)
+    tracer = obs.Tracer()
+    tracer.meta.update({"bench": req.bench, "input": item.name})
+    result = run_pipeline(pipeline, arrays, scalars, config=SCALED_1CORE, tracer=tracer)
+    ok = adapter.check(result.arrays, data)
+
+    print("pipeline: %s" % pipeline_summary(pipeline))
+    print(
+        "serial %.0f cycles, traced pipeline %.0f cycles (%.2fx), ok=%s"
+        % (serial.cycles, result.cycles, serial.cycles / result.cycles, ok)
+    )
+    print()
+    print(obs.render_timeline(obs.summarize_timeline(tracer)))
+    if profiler is not None:
+        print()
+        print(profiler.render())
+
+    if req.trace_out:
+        obs.write_chrome_trace(tracer, req.trace_out, meta={"bench": req.bench})
+        obs.log("trace: %d events -> %s (open at ui.perfetto.dev)", len(tracer), req.trace_out)
+    records = [
+        obs.run_record(
+            req.bench, "serial", item.name, serial.cycles, ok=True,
+            summary=serial.summary(), breakdown=serial.breakdown(),
+            energy=serial.energy().as_dict(), speedup=1.0,
+        ),
+        obs.run_record(
+            req.bench, "phloem-static", item.name, result.cycles, ok=ok,
+            summary=result.stats.summary(), breakdown=result.breakdown(),
+            energy=result.energy().as_dict(),
+            speedup=serial.cycles / result.cycles,
+            cache_stats=cache.stats_since(cache_before),
+            passes=None if profiler is None else profiler.as_dicts(),
+        ),
+    ]
+    if req.metrics_out:
+        obs.write_jsonl(records, req.metrics_out)
+        obs.log("metrics: %d records -> %s", len(records), req.metrics_out)
+    return (0 if ok else 1), records, {"cycles": result.cycles}
+
+
+def _run_metrics(req):
+    from .. import obs
+    from ..bench.harness import adapter_for, run_suite
+
+    if req.quiet:
+        obs.set_quiet(True)
+    adapter = adapter_for(req.bench)
+    item = _demo_input(req.bench, req.size, req.seed)
+    options = CompileOptions(num_stages=req.stages)
+    cache_before = cache.stats_snapshot()
+    suite = run_suite(
+        adapter,
+        [item],
+        [],
+        config=SCALED_1CORE,
+        variants=DEMO_VARIANTS,
+        options=options,
+        jobs=req.jobs,
+    )
+    records = obs.records_from_suite(
+        req.bench, suite, cache_stats=cache.stats_since(cache_before)
+    )
+    if req.profile_passes:
+        profiler = obs.PassProfiler()
+        compile_function(adapter.function(), options=options, profiler=profiler)
+        for record in records:
+            if record["variant"] == "phloem-static":
+                record["passes"] = profiler.as_dicts()
+    if req.metrics_out:
+        obs.write_jsonl(records, req.metrics_out)
+        obs.log("metrics: %d records -> %s", len(records), req.metrics_out)
+    else:
+        for record in records:
+            print(_json.dumps(record, sort_keys=True))
+    return (0 if all(r.get("ok", True) for r in records) else 1), records, {}
+
+
+def _run_bench_perf(req):
+    from .. import obs
+    from ..bench import perf as perfmod
+
+    if req.quiet:
+        obs.set_quiet(True)
+    for bench in req.benches:
+        if bench not in perfmod.SCALES["quick"]:
+            print(
+                "unknown benchmark %r (choose from %s)"
+                % (bench, ", ".join(sorted(perfmod.SCALES["quick"])))
+            )
+            return 2, [], {}
+    status, records = perfmod.run_cli(req)
+    extras = {"aggregate": perfmod.aggregate(records) if records else None}
+    return status, perfmod.obs_records(records), extras
+
+
+_RUNNERS = {
+    "emit": _run_emit,
+    "lint": _run_lint,
+    "demo": _run_demo,
+    "search": _run_search,
+    "trace": _run_trace,
+    "metrics": _run_metrics,
+    "bench-perf": _run_bench_perf,
+}
+
+
+def handle(request):
+    """Execute one API request and return its typed :class:`Response`.
+
+    The runner's stdout is captured into ``Response.output`` (the CLI
+    prints it verbatim; the daemon ships it over the socket), the cache
+    hit/miss delta over the request lands in ``Response.cache``, and any
+    per-request quiet override is restored on the way out. Toolchain
+    errors (:class:`~repro.errors.PhloemError`) propagate to the caller:
+    the one-shot CLI fails loudly exactly as it always did, while the
+    service worker wraps them into structured error responses.
+    """
+    if isinstance(request, dict):
+        request = Request.from_wire(request)
+    runner = _RUNNERS.get(request.VERB)
+    if runner is None:
+        raise ApiError("no handler for verb %r" % (request.VERB,))
+    before = cache.stats_snapshot()
+    old_quiet = get_quiet()
+    buffer = io.StringIO()
+    try:
+        with contextlib.redirect_stdout(buffer):
+            exit_code, records, extras = runner(request)
+    finally:
+        set_quiet(old_quiet)
+    response_cls = RESPONSE_FOR_VERB[request.VERB]
+    return response_cls(
+        verb=request.VERB,
+        exit_code=exit_code,
+        output=buffer.getvalue(),
+        records=records,
+        cache=cache.stats_since(before),
+        **extras,
+    )

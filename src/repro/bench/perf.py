@@ -363,14 +363,22 @@ def obs_records(records):
     return out
 
 
-def main_cli(args):
-    """Entry point behind ``repro bench perf`` (argparse namespace in)."""
+def run_cli(args):
+    """``repro bench perf`` driver; returns ``(status, records)``.
+
+    ``args`` is any object with the perf options as attributes — the
+    argparse namespace of the one-shot CLI or a
+    :class:`repro.api.BenchPerfRequest` (which carries ``scale`` directly
+    instead of the ``--quick``/``--full`` flag pair).
+    """
     from ..obs import log
 
-    scale = "full" if getattr(args, "full", False) else "quick"
-    if getattr(args, "quick", False):
-        scale = "quick"
-    benches = args.benches or None
+    scale = getattr(args, "scale", None)
+    if scale not in SCALES:
+        scale = "full" if getattr(args, "full", False) else "quick"
+        if getattr(args, "quick", False):
+            scale = "quick"
+    benches = list(args.benches) or None
     started = time.perf_counter()
     try:
         records = run_perf(
@@ -378,7 +386,7 @@ def main_cli(args):
         )
     except PerfError as exc:
         print("perf: ERROR: %s" % exc)
-        return 1
+        return 1, []
     agg = aggregate(records)
 
     if args.json:
@@ -399,12 +407,12 @@ def main_cli(args):
     elif args.check_baseline:
         if not os.path.exists(args.baseline):
             print("perf: ERROR: baseline %s not found" % args.baseline)
-            return 1
+            return 1, records
         try:
             baseline = read_baseline(args.baseline)
         except (PerfError, ValueError) as exc:
             print("perf: ERROR: %s" % exc)
-            return 1
+            return 1, records
         errors, warnings = check_against_baseline(
             records, baseline, threshold=args.threshold
         )
@@ -423,4 +431,10 @@ def main_cli(args):
                 % (len(records), agg["speedup"], baseline["aggregate"]["speedup"])
             )
     log("perf: %.1fs total", time.perf_counter() - started)
+    return status, records
+
+
+def main_cli(args):
+    """Status-only wrapper over :func:`run_cli` (the original entry point)."""
+    status, _records = run_cli(args)
     return status

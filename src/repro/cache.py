@@ -16,20 +16,33 @@ stable content hashes:
 Each layer has an in-process dict in front of a shared on-disk pickle store
 (``REPRO_CACHE_DIR``, default ``~/.cache/phloem-repro``), so warm results
 survive process restarts and are shared by every worker of the parallel
-harness (:mod:`repro.bench.parallel`). ``REPRO_NO_CACHE=1`` disables the
-disk layer. Keys are salted with the package version: upgrading the
-compiler invalidates every cached artifact.
+harness (:mod:`repro.bench.parallel`) and every client of the
+compile-and-simulate daemon (:mod:`repro.service`). ``REPRO_NO_CACHE=1``
+disables the disk layer. Keys are salted with the package version:
+upgrading the compiler invalidates every cached artifact.
+
+Concurrency: entries are written with write-then-rename (readers never
+observe a partial pickle), and each compute-on-miss runs under a per-key
+``flock`` so simultaneous clients asking for the same artifact do the
+work once — the first takes the miss and computes, the rest block briefly
+and take a hit off the store the winner populated.
 
 Cached values are treated as immutable: :func:`cached_compile` returns a
 fresh clone per call, and :class:`BaselineResult` arrays must not be
 mutated by callers (the harness only reads them for output validation).
 """
 
+import contextlib
 import hashlib
 import os
 import pickle
 import tempfile
 from dataclasses import asdict, is_dataclass
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: atomic rename still guards writes
+    fcntl = None
 
 from .core.compiler import compile_function
 from .ir.serialize import fingerprint
@@ -132,6 +145,55 @@ def _load(layer, key):
     return None
 
 
+@contextlib.contextmanager
+def _key_lock(layer, key):
+    """Serialize compute-on-miss for one cache key across processes.
+
+    An exclusive ``flock`` on ``<layer>/<key>.lock`` (released on close —
+    and by the OS if the holder dies). Degrades to a no-op when disk
+    caching is off or the platform has no ``fcntl``; the write-then-rename
+    in :func:`_store` still guards against corruption, the lock only
+    deduplicates the work.
+    """
+    base = cache_dir()
+    if base is None or fcntl is None:
+        yield
+        return
+    path = os.path.join(base, layer, key + ".lock")
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+    except OSError:
+        yield
+        return
+    try:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:
+            pass
+        yield
+    finally:
+        os.close(fd)
+
+
+def _get_or_compute(layer, key, compute):
+    """One-miss-many-hits lookup: the shared compute-on-miss protocol.
+
+    Memory first (no lock), then the disk store under the per-key lock —
+    re-checked after acquisition, because a concurrent process may have
+    computed the value while this one waited.
+    """
+    if key in _memory[layer]:
+        _stats[layer]["hits"] += 1
+        return _memory[layer][key]
+    with _key_lock(layer, key):
+        value = _load(layer, key)
+        if value is None:
+            value = compute()
+            _store(layer, key, value)
+        return value
+
+
 def _store(layer, key, value):
     _memory[layer][key] = value
     path = _disk_path(layer, key)
@@ -183,6 +245,20 @@ def merge_stats(delta):
         _stats[layer][kind] += count
 
 
+def stats_since(snapshot):
+    """``{layer: {"hits": n, "misses": n}}`` increments since a snapshot.
+
+    The per-request cache view of the API layer: a one-shot CLI process
+    reports the same numbers as before (nothing precedes the request), a
+    long-lived service worker reports just this request's traffic — which
+    is how a client sees its warm submission hit the shared cache.
+    """
+    delta = stats_delta(snapshot)
+    return {
+        layer: {kind: delta[(layer, kind)] for kind in ("hits", "misses")} for layer in LAYERS
+    }
+
+
 def stats():
     """``{layer: {"hits": n, "misses": n}}`` view of the counters."""
     return {layer: dict(_stats[layer]) for layer in LAYERS}
@@ -202,18 +278,19 @@ def cached_compile(function, options):
     reattached from ``function`` on the way out.
     """
     key = content_hash("pipeline", fingerprint(function), options.cache_key())
-    value = _load("pipeline", key)
-    if value is not None:
-        pipeline = value.clone()
-        pipeline.intrinsics = dict(function.intrinsics)
-        # Engine choice is not part of the cache key (both engines share
-        # entries), so restamp the caller's preference on the way out.
-        pipeline.meta["fastpath"] = options.fastpath
-        return pipeline
-    pipeline = compile_function(function, options=options)
-    stored = pipeline.clone()
-    stored.intrinsics = {}
-    _store("pipeline", key, stored)
+
+    def compute():
+        pipeline = compile_function(function, options=options)
+        stored = pipeline.clone()
+        stored.intrinsics = {}
+        return stored
+
+    value = _get_or_compute("pipeline", key, compute)
+    pipeline = value.clone()
+    pipeline.intrinsics = dict(function.intrinsics)
+    # Engine choice is not part of the cache key (both engines share
+    # entries), so restamp the caller's preference on the way out.
+    pipeline.meta["fastpath"] = options.fastpath
     return pipeline
 
 
@@ -279,19 +356,18 @@ def cached_serial_run(function, arrays, scalars, config):
         fingerprint_env(arrays, scalars),
         fingerprint_config(config),
     )
-    value = _load("baseline", key)
-    if value is not None:
-        return BaselineResult(**value)
-    result = run_serial(function, arrays, scalars, config=config)
-    value = {
-        "cycles": result.cycles,
-        "arrays": result.arrays,
-        "breakdown": result.breakdown(),
-        "energy": result.energy().as_dict(),
-        "summary": result.stats.summary(),
-    }
-    _store("baseline", key, value)
-    return BaselineResult(**value)
+
+    def compute():
+        result = run_serial(function, arrays, scalars, config=config)
+        return {
+            "cycles": result.cycles,
+            "arrays": result.arrays,
+            "breakdown": result.breakdown(),
+            "energy": result.energy().as_dict(),
+            "summary": result.stats.summary(),
+        }
+
+    return BaselineResult(**_get_or_compute("baseline", key, compute))
 
 
 # ---------------------------------------------------------------------------
@@ -307,9 +383,4 @@ def cached_search(key_parts, compute):
     pickles small and pipelines importable everywhere.
     """
     key = content_hash("search", *key_parts)
-    value = _load("search", key)
-    if value is not None:
-        return value
-    value = compute()
-    _store("search", key, value)
-    return value
+    return _get_or_compute("search", key, compute)

@@ -15,7 +15,17 @@ Commands mirror how the paper's artifact would be driven:
 * ``trace BENCH`` — run one benchmark with cycle-domain tracing on and
   write a Chrome trace-event file (load it at ui.perfetto.dev);
 * ``metrics BENCH`` — run the comparison suite and emit structured
-  JSONL RunRecords (:mod:`repro.obs.record`).
+  JSONL RunRecords (:mod:`repro.obs.record`);
+* ``serve`` — run the long-lived compile-and-simulate daemon
+  (:mod:`repro.service`): async socket server, fork worker pool, shared
+  caches, per-client rate limits;
+* ``submit [submit flags] VERB ...`` — run any of the verbs above on a
+  daemon instead of in-process, byte-identical stdout included.
+
+Every verb is a thin frontend over :mod:`repro.api`: argv becomes a typed
+request, :func:`repro.api.handle` executes it, and the CLI prints
+``Response.output`` verbatim — the daemon runs the same requests through
+the same handlers, so one-shot and served results are interchangeable.
 
 ``--quiet`` (or ``REPRO_QUIET=1``) silences the stderr telemetry
 (wall-clock/cache chatter); figure results on stdout are unaffected.
@@ -25,146 +35,144 @@ import argparse
 import sys
 import time
 
-from .core import ALL_PASSES, CompileOptions, compile_function, emit_pipeline, pipeline_summary
-from .frontend import compile_source
-from .ir import format_pipeline
-from .pipette import SCALED_1CORE
+from . import api
+
+
+def _run_local(request):
+    """Execute one API request in-process and print its payload."""
+    response = api.handle(request)
+    if response.output:
+        sys.stdout.write(response.output)
+    return response.exit_code
+
+
+# ---------------------------------------------------------------------------
+# argv -> request builders (shared by the one-shot verbs and `submit`)
+
+
+def _req_emit(args):
+    with open(args.file) as handle:
+        source = handle.read()
+    return api.CompileRequest(
+        source=source,
+        name=args.name,
+        stages=args.stages,
+        passes=args.passes,
+        fmt=args.format,
+        verify_each=args.verify_each,
+    )
+
+
+def _req_lint(args):
+    source = None
+    if args.file is not None:
+        with open(args.file) as handle:
+            source = handle.read()
+    return api.LintRequest(
+        source=source,
+        file=args.file,
+        name=args.name,
+        bench=args.bench,
+        stages=args.stages,
+        passes=args.passes,
+        verify_each=args.verify_each,
+        json=args.json,
+    )
+
+
+def _req_demo(args):
+    return api.RunRequest(bench=args.bench, size=args.size, seed=args.seed, stages=args.stages)
+
+
+def _req_search(args):
+    return api.SearchRequest(bench=args.bench)
+
+
+def _req_trace(args):
+    return api.TraceRequest(
+        bench=args.bench,
+        size=args.size,
+        seed=args.seed,
+        stages=args.stages,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        profile_passes=args.profile_passes,
+        quiet=args.quiet,
+    )
+
+
+def _req_metrics(args):
+    return api.MetricsRequest(
+        bench=args.bench,
+        size=args.size,
+        seed=args.seed,
+        stages=args.stages,
+        jobs=args.jobs,
+        metrics_out=args.metrics_out,
+        profile_passes=args.profile_passes,
+        quiet=args.quiet,
+    )
+
+
+def _req_bench_perf(args):
+    scale = "full" if args.full else "quick"
+    if args.quick:
+        scale = "quick"
+    return api.BenchPerfRequest(
+        benches=tuple(args.benches),
+        scale=scale,
+        repeats=args.repeats,
+        jobs=args.jobs,
+        baseline=args.baseline,
+        check_baseline=args.check_baseline,
+        update_baseline=args.update_baseline,
+        threshold=args.threshold,
+        strict=args.strict,
+        json=args.json,
+        metrics_out=args.metrics_out,
+        quiet=args.quiet,
+    )
+
+
+#: Verb -> argv builder; verbs absent here (figures, serve, submit) run
+#: only in-process and cannot be submitted to a daemon.
+_REQUEST_BUILDERS = {
+    "emit": _req_emit,
+    "lint": _req_lint,
+    "demo": _req_demo,
+    "search": _req_search,
+    "trace": _req_trace,
+    "metrics": _req_metrics,
+    "bench-perf": _req_bench_perf,
+}
 
 
 def _cmd_emit(args):
-    with open(args.file) as handle:
-        source = handle.read()
-    function = compile_source(source, name=args.name)
-    passes = ALL_PASSES if args.passes is None else tuple(args.passes.split(","))
-    passes = tuple(p for p in passes if p)
-    options = CompileOptions(
-        num_stages=args.stages, passes=passes, verify_each=args.verify_each
-    )
-    pipeline = compile_function(function, options=options)
-    if args.format == "summary":
-        print(pipeline_summary(pipeline))
-    elif args.format == "ir":
-        print(format_pipeline(pipeline))
-    elif args.format == "diagram":
-        from .core.viz import ascii_diagram
-
-        print(ascii_diagram(pipeline))
-    else:
-        print(emit_pipeline(pipeline))
-    return 0
+    return _run_local(_req_emit(args))
 
 
 def _cmd_lint(args):
-    import json
-
-    from .analysis.sanitize import lint_source
-
-    targets = []
-    if args.bench is not None:
-        from .workloads import ALL_BENCHMARKS
-
-        if args.bench != "all" and args.bench not in ALL_BENCHMARKS:
-            print(
-                "unknown benchmark %r (choose from %s, all)"
-                % (args.bench, ", ".join(sorted(ALL_BENCHMARKS)))
-            )
-            return 2
-        names = sorted(ALL_BENCHMARKS) if args.bench == "all" else [args.bench]
-        for bench in names:
-            targets.append((bench, ALL_BENCHMARKS[bench].SOURCE, None, None))
-    if args.file is not None:
-        with open(args.file) as handle:
-            targets.append((args.file, handle.read(), args.name, args.file))
-    if not targets:
-        print("lint: give a FILE.c, --bench NAME, or --bench all")
-        return 2
-
-    passes = ALL_PASSES if args.passes is None else tuple(p for p in args.passes.split(",") if p)
-    options = CompileOptions(
-        num_stages=args.stages, passes=passes, verify_each=args.verify_each
-    )
-    failed = False
-    reports = []
-    for label, source, name, path in targets:
-        diags = lint_source(source, name=name, options=options, file=path)
-        failed = failed or diags.has_errors
-        if args.json:
-            reports.append(
-                {
-                    "target": label,
-                    "diagnostics": [d.as_dict() for d in diags.sorted()],
-                    "errors": len(diags.errors()),
-                    "warnings": len(diags.warnings()),
-                }
-            )
-        elif len(diags) == 0:
-            print("%s: clean" % label)
-        else:
-            print("%s:" % label)
-            for line in diags.render_text().splitlines():
-                print("  " + line)
-    if args.json:
-        print(json.dumps(reports, indent=2, sort_keys=True))
-    return 1 if failed else 0
-
-
-#: The variants `demo` runs and prints, in order (all use the unified
-#: adapter + run_suite path; "phloem-static" is the compiled pipeline).
-_DEMO_VARIANTS = ("serial", "data-parallel", "phloem-static", "manual")
-
-
-def _demo_input(args):
-    """One synthetic input item for ``demo`` (graph or matrix)."""
-    from .workloads.datasets import GraphInput, MatrixInput
-    from .workloads.graphs import uniform_random
-    from .workloads.matrices import random_matrix
-
-    if args.bench == "spmm":
-        return MatrixInput(
-            "demo", "synthetic", lambda: random_matrix(max(40, args.size // 40), 8, seed=args.seed)
-        )
-    return GraphInput(
-        "demo", "synthetic", lambda: uniform_random(args.size, 5, seed=args.seed)
-    )
+    return _run_local(_req_lint(args))
 
 
 def _cmd_demo(args):
-    from .bench.harness import adapter_for, run_suite
-
-    adapter = adapter_for(args.bench)
-    item = _demo_input(args)
-    print("input: %r" % item.build())
-    suite = run_suite(
-        adapter,
-        [item],
-        [],
-        config=SCALED_1CORE,
-        variants=_DEMO_VARIANTS,
-        options=CompileOptions(num_stages=args.stages),
-    )
-    print("phloem pipeline: %s\n" % pipeline_summary(suite["_meta"]["phloem-static"]))
-    base = suite["serial"][0].cycles
-    print("%-16s %14s %9s %6s" % ("variant", "cycles", "speedup", "ok"))
-    for name in _DEMO_VARIANTS:
-        run = suite[name][0]
-        print("%-16s %14.0f %8.2fx %6s" % (name, run.cycles, base / run.cycles, run.ok))
-    return 0 if all(suite[name][0].ok for name in _DEMO_VARIANTS) else 1
+    return _run_local(_req_demo(args))
 
 
 def _cmd_search(args):
-    from .bench.harness import adapter_for, profile_guided_pipeline
-    from .bench.report import render_distribution
-    from .core.autotune import speedup_distribution
-    from .workloads import datasets
+    return _run_local(_req_search(args))
 
-    adapter = adapter_for(args.bench)
-    train = datasets.TRAIN_MATRICES_SPMM if args.bench == "spmm" else datasets.TRAIN_GRAPHS
-    best, results = profile_guided_pipeline(adapter, train, config=SCALED_1CORE)
-    print(render_distribution("training-set speedups by pipeline length", {args.bench: speedup_distribution(results)}))
-    if best is not None:
-        print("\nbest: %r" % best)
-        print("      %s" % pipeline_summary(best.pipeline))
-    return 0
+
+def _cmd_trace(args):
+    return _run_local(_req_trace(args))
+
+
+def _cmd_metrics(args):
+    return _run_local(_req_metrics(args))
+
+
+def _cmd_bench_perf(args):
+    return _run_local(_req_bench_perf(args))
 
 
 _FIGURES = {
@@ -180,104 +188,6 @@ _FIGURES = {
 #: Figures that re-slice the shared Fig. 9 suites (computed once, in the
 #: parent, with per-benchmark parallelism) rather than running standalone.
 _SUITE_FIGURES = ("fig9", "fig10", "fig11", "fig13")
-
-
-def _cmd_trace(args):
-    from . import cache, obs
-    from .bench.harness import adapter_for
-
-    if args.quiet:
-        obs.set_quiet(True)
-    adapter = adapter_for(args.bench)
-    item = _demo_input(args)
-    data = item.build()
-    arrays, scalars = adapter.env(data)
-    function = adapter.function()
-    options = CompileOptions(num_stages=args.stages)
-
-    profiler = obs.PassProfiler() if args.profile_passes else None
-    if profiler is not None:
-        pipeline = compile_function(function, options=options, profiler=profiler)
-    else:
-        pipeline = cache.cached_compile(function, options)
-
-    serial = cache.cached_serial_run(function, arrays, scalars, SCALED_1CORE)
-    tracer = obs.Tracer()
-    tracer.meta.update({"bench": args.bench, "input": item.name})
-    from .runtime.executor import run_pipeline
-
-    result = run_pipeline(pipeline, arrays, scalars, config=SCALED_1CORE, tracer=tracer)
-    ok = adapter.check(result.arrays, data)
-
-    print("pipeline: %s" % pipeline_summary(pipeline))
-    print(
-        "serial %.0f cycles, traced pipeline %.0f cycles (%.2fx), ok=%s"
-        % (serial.cycles, result.cycles, serial.cycles / result.cycles, ok)
-    )
-    print()
-    print(obs.render_timeline(obs.summarize_timeline(tracer)))
-    if profiler is not None:
-        print()
-        print(profiler.render())
-
-    if args.trace_out:
-        obs.write_chrome_trace(tracer, args.trace_out, meta={"bench": args.bench})
-        obs.log("trace: %d events -> %s (open at ui.perfetto.dev)", len(tracer), args.trace_out)
-    if args.metrics_out:
-        records = [
-            obs.run_record(
-                args.bench, "serial", item.name, serial.cycles, ok=True,
-                summary=serial.summary(), breakdown=serial.breakdown(),
-                energy=serial.energy().as_dict(), speedup=1.0,
-            ),
-            obs.run_record(
-                args.bench, "phloem-static", item.name, result.cycles, ok=ok,
-                summary=result.stats.summary(), breakdown=result.breakdown(),
-                energy=result.energy().as_dict(),
-                speedup=serial.cycles / result.cycles,
-                cache_stats=cache.stats(),
-                passes=None if profiler is None else profiler.as_dicts(),
-            ),
-        ]
-        obs.write_jsonl(records, args.metrics_out)
-        obs.log("metrics: %d records -> %s", len(records), args.metrics_out)
-    return 0 if ok else 1
-
-
-def _cmd_metrics(args):
-    import json
-
-    from . import cache, obs
-    from .bench.harness import adapter_for, run_suite
-
-    if args.quiet:
-        obs.set_quiet(True)
-    adapter = adapter_for(args.bench)
-    item = _demo_input(args)
-    options = CompileOptions(num_stages=args.stages)
-    suite = run_suite(
-        adapter,
-        [item],
-        [],
-        config=SCALED_1CORE,
-        variants=_DEMO_VARIANTS,
-        options=options,
-        jobs=args.jobs,
-    )
-    records = obs.records_from_suite(args.bench, suite, cache_stats=cache.stats())
-    if args.profile_passes:
-        profiler = obs.PassProfiler()
-        compile_function(adapter.function(), options=options, profiler=profiler)
-        for record in records:
-            if record["variant"] == "phloem-static":
-                record["passes"] = profiler.as_dicts()
-    if args.metrics_out:
-        obs.write_jsonl(records, args.metrics_out)
-        obs.log("metrics: %d records -> %s", len(records), args.metrics_out)
-    else:
-        for record in records:
-            print(json.dumps(record, sort_keys=True))
-    return 0 if all(r.get("ok", True) for r in records) else 1
 
 
 def _cmd_figures(args):
@@ -341,20 +251,115 @@ def _cmd_figures(args):
     return 0
 
 
-def _cmd_bench_perf(args):
-    from . import obs
-    from .bench import perf as perfmod
+# ---------------------------------------------------------------------------
+# Service frontends: serve / submit
+
+
+def _cmd_serve(args):
+    from .obs import set_quiet
+    from .service.daemon import serve_main
+    from .service.protocol import default_socket_path
 
     if args.quiet:
-        obs.set_quiet(True)
-    for bench in args.benches:
-        if bench not in perfmod.SCALES["quick"]:
-            print(
-                "unknown benchmark %r (choose from %s)"
-                % (bench, ", ".join(sorted(perfmod.SCALES["quick"])))
-            )
-            return 2
-    return perfmod.main_cli(args)
+        set_quiet(True)
+    socket_path = args.socket
+    if socket_path is None and args.host is None:
+        socket_path = default_socket_path(create_dir=True)
+    return serve_main(
+        socket_path=socket_path,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        rate=args.rate,
+        burst=args.burst,
+        quota=args.quota,
+    )
+
+
+def _request_from_argv(argv):
+    """Re-parse a submitted verb's argv into its API request.
+
+    Returns ``(request, None)`` or ``(None, exit_code)`` when the argv
+    names a verb that cannot run on a daemon.
+    """
+    parsed = build_parser().parse_args(argv)
+    builder = _REQUEST_BUILDERS.get(getattr(parsed, "verb", None))
+    if builder is None:
+        print(
+            "submit: verb %r runs only in-process (submit one of: %s)"
+            % (argv[0], ", ".join(sorted(_REQUEST_BUILDERS)))
+        )
+        return None, 2
+    return builder(parsed), None
+
+
+def _cmd_submit(args):
+    import json
+
+    from .client import ServiceClient, ServiceError
+    from .obs import log
+    from .service.protocol import default_socket_path
+
+    socket_path = args.socket
+    if socket_path is None and args.host is None:
+        socket_path = default_socket_path()
+    argv = list(args.argv)
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+
+    control = None
+    for flag, action in (("ping", "ping"), ("server_stats", "stats"), ("shutdown", "shutdown")):
+        if getattr(args, flag):
+            control = action
+    if control is None and not argv:
+        print("submit: give a verb to run (e.g. `repro submit metrics bfs`)")
+        return 2
+
+    request = None
+    if control is None:
+        request, code = _request_from_argv(argv)
+        if request is None:
+            return code
+
+    client = ServiceClient(
+        socket_path=socket_path,
+        host=args.host,
+        port=args.port,
+        client_id=args.client,
+        timeout=args.timeout,
+    )
+    try:
+        if args.wait is not None:
+            client.wait_ready(timeout=args.wait)
+        if control is not None:
+            print(json.dumps(client.control(control), sort_keys=True))
+            return 0
+
+        def on_record(record):
+            if args.stream:
+                print(json.dumps(record, sort_keys=True), flush=True)
+
+        response = client.submit(request, on_record=on_record)
+    except ServiceError as exc:
+        print("submit: error: %s" % exc, file=sys.stderr)
+        return 1
+    if response.error is not None:
+        print(
+            json.dumps({"verb": response.verb, "error": response.error}, sort_keys=True),
+            file=sys.stderr,
+        )
+        return response.exit_code or 1
+    if not args.stream and response.output:
+        sys.stdout.write(response.output)
+    if response.cache is not None:
+        log(
+            "submit: cache %s",
+            " ".join(
+                "%s %d/%d" % (layer, c["hits"], c["hits"] + c["misses"])
+                for layer, c in sorted(response.cache.items())
+            ),
+        )
+    return response.exit_code
 
 
 def build_parser():
@@ -375,7 +380,7 @@ def build_parser():
         "--verify-each", action="store_true",
         help="re-verify the IR and re-run the safety analyzer after every pass",
     )
-    emit.set_defaults(func=_cmd_emit)
+    emit.set_defaults(func=_cmd_emit, verb="emit")
 
     lint = sub.add_parser(
         "lint", help="run the static pipeline-safety analyzer on a kernel"
@@ -393,18 +398,18 @@ def build_parser():
         help="also verify after every compiler pass, not just the final pipeline",
     )
     lint.add_argument("--json", action="store_true", help="machine-readable diagnostics")
-    lint.set_defaults(func=_cmd_lint)
+    lint.set_defaults(func=_cmd_lint, verb="lint")
 
     demo = sub.add_parser("demo", help="run one benchmark across all variants")
     demo.add_argument("bench", choices=("bfs", "cc", "prd", "radii", "spmm"))
     demo.add_argument("--size", type=int, default=4000)
     demo.add_argument("--seed", type=int, default=1)
     demo.add_argument("--stages", type=int, default=4)
-    demo.set_defaults(func=_cmd_demo)
+    demo.set_defaults(func=_cmd_demo, verb="demo")
 
     search = sub.add_parser("search", help="profile-guided pipeline search")
     search.add_argument("bench", choices=("bfs", "cc", "prd", "radii", "spmm"))
-    search.set_defaults(func=_cmd_search)
+    search.set_defaults(func=_cmd_search, verb="search")
 
     figures = sub.add_parser("figures", help="regenerate evaluation figures")
     figures.add_argument("names", nargs="*", metavar="figN")
@@ -421,7 +426,7 @@ def build_parser():
         "--metrics-out", default=None, metavar="FILE.jsonl",
         help="write structured RunRecords for the suites this run computed",
     )
-    figures.set_defaults(func=_cmd_figures)
+    figures.set_defaults(func=_cmd_figures, verb="figures")
 
     trace = sub.add_parser(
         "trace", help="run one benchmark with cycle-domain tracing on"
@@ -443,7 +448,7 @@ def build_parser():
         help="instrument the compiler passes and print the timing table",
     )
     trace.add_argument("--quiet", action="store_true", help="silence stderr telemetry")
-    trace.set_defaults(func=_cmd_trace)
+    trace.set_defaults(func=_cmd_trace, verb="trace")
 
     bench = sub.add_parser(
         "bench", help="benchmark harness utilities (currently: perf)"
@@ -501,7 +506,7 @@ def build_parser():
         help="also write repro.obs RunRecords for both engines",
     )
     perf.add_argument("--quiet", action="store_true", help="silence stderr telemetry")
-    perf.set_defaults(func=_cmd_bench_perf)
+    perf.set_defaults(func=_cmd_bench_perf, verb="bench-perf")
 
     metrics = sub.add_parser(
         "metrics", help="run the comparison suite and emit JSONL RunRecords"
@@ -520,7 +525,71 @@ def build_parser():
         help="attach compile-pass timings to the phloem-static records",
     )
     metrics.add_argument("--quiet", action="store_true", help="silence stderr telemetry")
-    metrics.set_defaults(func=_cmd_metrics)
+    metrics.set_defaults(func=_cmd_metrics, verb="metrics")
+
+    serve = sub.add_parser(
+        "serve", help="run the compile-and-simulate daemon (async server + worker pool)"
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix socket to listen on (default: REPRO_SOCKET env or the "
+        "cache directory's serve.sock)",
+    )
+    serve.add_argument("--host", default=None, help="listen on TCP instead of a unix socket")
+    serve.add_argument("--port", type=int, default=0, help="TCP port (0 picks a free one)")
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="fork worker processes (0 = execute inline in the server)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=10.0,
+        help="per-client token-bucket refill rate, requests/s (<=0 disables)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=20.0, help="per-client token-bucket depth"
+    )
+    serve.add_argument(
+        "--quota", type=int, default=4,
+        help="per-client in-flight job quota (<=0 disables)",
+    )
+    serve.add_argument("--quiet", action="store_true", help="silence stderr telemetry")
+    serve.set_defaults(func=_cmd_serve, verb="serve")
+
+    submit = sub.add_parser(
+        "submit", help="run a verb on a daemon: repro submit [flags] VERB ..."
+    )
+    submit.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="daemon unix socket (default: REPRO_SOCKET env or the cache "
+        "directory's serve.sock)",
+    )
+    submit.add_argument("--host", default=None, help="daemon TCP host")
+    submit.add_argument("--port", type=int, default=0, help="daemon TCP port")
+    submit.add_argument(
+        "--client", default="cli", help="client identity for rate limits and quotas"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, help="socket timeout in seconds"
+    )
+    submit.add_argument(
+        "--wait", type=float, default=None, metavar="SECONDS",
+        help="poll until the daemon answers a ping before submitting",
+    )
+    submit.add_argument(
+        "--stream", action="store_true",
+        help="print streamed records as JSONL as they arrive instead of "
+        "the verb's stdout payload",
+    )
+    submit.add_argument("--ping", action="store_true", help="liveness probe only")
+    submit.add_argument(
+        "--server-stats", action="store_true", help="print the daemon's counters"
+    )
+    submit.add_argument("--shutdown", action="store_true", help="stop the daemon")
+    submit.add_argument(
+        "argv", nargs=argparse.REMAINDER, metavar="VERB ...",
+        help="the verb (and its flags) to run on the daemon",
+    )
+    submit.set_defaults(func=_cmd_submit, verb="submit")
 
     return parser
 

@@ -16,7 +16,7 @@ import math
 
 from ..analysis.costmodel import rank_decouple_points
 from ..errors import CompileError, PhloemError
-from .compiler import ALL_PASSES, compile_function
+from .compiler import ALL_PASSES, CompileOptions, compile_function
 from .phases import prepare_phases
 
 
@@ -105,7 +105,10 @@ def search_pipelines(
     for indices in combos:
         try:
             pipeline = compile_function(
-                function, num_stages=len(indices) + 1, passes=passes, point_indices=indices
+                function,
+                options=CompileOptions(
+                    num_stages=len(indices) + 1, passes=passes, point_indices=indices
+                ),
             )
         except PhloemError as exc:
             failures.append((indices, str(exc)))

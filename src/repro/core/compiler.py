@@ -16,6 +16,7 @@ so the Fig. 6 ablation can reproduce each intermediate configuration.
 """
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 
 from ..analysis.sanitize import sanitize_pipeline
@@ -155,9 +156,11 @@ def compile_function(
 ):
     """Compile a serial function into a pipeline.
 
-    ``options`` is a :class:`CompileOptions`; the individual kwargs are thin
-    shims kept for the original API, and any that are passed explicitly
-    override the corresponding ``options`` field. ``point_indices`` selects
+    ``options`` is a :class:`CompileOptions`; the individual kwargs are
+    deprecated shims kept for the original API. Any that are passed
+    explicitly still override the corresponding ``options`` field, but the
+    shim path emits one :class:`DeprecationWarning` per call — pass
+    ``options=CompileOptions(...)`` instead. ``point_indices`` selects
     specific ranked decoupling points (the profile-guided search drives
     this); by default the static cost model's top choices are used.
 
@@ -165,14 +168,23 @@ def compile_function(
     time and IR deltas; it is observation only and never part of the
     compiled-pipeline cache key.
     """
-    options = (options or CompileOptions()).merge(
-        num_stages=num_stages,
-        passes=passes,
-        max_ras=max_ras,
-        queue_capacity=queue_capacity,
-        max_queues=max_queues,
-        point_indices=point_indices,
-    )
+    legacy = {
+        "num_stages": num_stages,
+        "passes": passes,
+        "max_ras": max_ras,
+        "queue_capacity": queue_capacity,
+        "max_queues": max_queues,
+        "point_indices": point_indices,
+    }
+    passed = sorted(k for k, v in legacy.items() if v is not None)
+    if passed:
+        warnings.warn(
+            "compile_function(%s=...) kwargs are deprecated; pass "
+            "options=CompileOptions(...) instead" % ", ".join(passed),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    options = (options or CompileOptions()).merge(**legacy)
     passes = options.passes
 
     if profiler is None:

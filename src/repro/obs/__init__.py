@@ -25,7 +25,7 @@ allocates no event buffers and figure output stays byte-identical.
 """
 
 from .chrometrace import export_chrome_trace, validate_chrome_trace, write_chrome_trace
-from .log import is_quiet, log, set_quiet
+from .log import get_quiet, is_quiet, log, set_quiet
 from .passes import PassProfiler
 from .record import (
     RECORD_SCHEMA,
@@ -58,5 +58,6 @@ __all__ = [
     "read_jsonl",
     "log",
     "set_quiet",
+    "get_quiet",
     "is_quiet",
 ]

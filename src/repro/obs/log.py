@@ -20,6 +20,16 @@ def set_quiet(value):
     _quiet = value
 
 
+def get_quiet():
+    """The raw tri-state override (None/True/False), for save/restore.
+
+    Request handlers (:mod:`repro.api`) flip quiet per request and must
+    restore whatever was in force before — in a long-lived service worker
+    the process outlives the request.
+    """
+    return _quiet
+
+
 def is_quiet():
     """True when diagnostics are suppressed."""
     if _quiet is not None:

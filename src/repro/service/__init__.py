@@ -1,0 +1,26 @@
+"""Compile-and-simulate as a service.
+
+The long-lived daemon behind ``repro serve``: an asyncio NDJSON socket
+server (:mod:`repro.service.daemon`) executing :mod:`repro.api` requests
+on a fork worker pool (:mod:`repro.service.pool`) over the shared
+content-addressed :mod:`repro.cache`, with per-client token-bucket rate
+limits and job quotas (:mod:`repro.service.ratelimit`). The wire format
+lives in :mod:`repro.service.protocol`; the matching client in
+:mod:`repro.client`.
+"""
+
+from .daemon import REJECTED_EXIT_CODE, Daemon, serve_main
+from .pool import RequestPool, execute_wire
+from .ratelimit import QUOTA_EXCEEDED, RATE_LIMITED, ClientGovernor, TokenBucket
+
+__all__ = [
+    "Daemon",
+    "serve_main",
+    "REJECTED_EXIT_CODE",
+    "RequestPool",
+    "execute_wire",
+    "TokenBucket",
+    "ClientGovernor",
+    "RATE_LIMITED",
+    "QUOTA_EXCEEDED",
+]

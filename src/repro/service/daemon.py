@@ -1,0 +1,262 @@
+"""The long-lived compile-and-simulate daemon (``repro serve``).
+
+An asyncio socket server (unix domain by default, TCP optional) that
+accepts :mod:`repro.api` request envelopes, admits them through the
+per-client governor (:mod:`repro.service.ratelimit`), executes them on
+the fork worker pool (:mod:`repro.service.pool`), and streams the
+structured records followed by the final response back as NDJSON
+(:mod:`repro.service.protocol`).
+
+Why a daemon at all: the one-shot CLI re-pays interpreter start, imports,
+and cache warm-up on every verb — exactly the dispatch overhead that
+dominates when jobs are small. Here those costs are paid once; after the
+first request every worker holds warm in-memory memo layers over the one
+shared on-disk content-addressed store, so every client's compile warms
+every other client's.
+
+Shutdown: a ``shutdown`` control message, SIGINT, or SIGTERM. The unix
+socket file is removed on exit.
+"""
+
+import asyncio
+import contextlib
+import os
+import signal
+import time
+
+from .. import cache
+from ..api.requests import REQUEST_TYPES, error_response
+from ..errors import PhloemError
+from ..obs import log
+from . import protocol
+from .pool import RequestPool
+from .ratelimit import ClientGovernor
+
+#: Exit code stamped on rejected (rate-limited / over-quota) requests;
+#: EX_TEMPFAIL — the client may retry later.
+REJECTED_EXIT_CODE = 75
+
+#: Seconds a connection may sit silent before its request line times out.
+READ_TIMEOUT = 60.0
+
+
+class Daemon:
+    """One serving instance: listener + governor + worker pool + counters.
+
+    Construct it *before* any event loop runs (the fork pool must fork a
+    quiet process), then drive :meth:`serve` with ``asyncio.run``.
+    """
+
+    def __init__(
+        self,
+        socket_path=None,
+        host=None,
+        port=0,
+        workers=2,
+        rate=10.0,
+        burst=20.0,
+        quota=4,
+    ):
+        if socket_path is None and host is None:
+            raise PhloemError("daemon needs a unix socket path or a TCP host/port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.pool = RequestPool(workers)
+        self.governor = ClientGovernor(rate=rate, burst=burst, quota=quota)
+        self.started = time.time()
+        self.counts = {"requests": 0, "completed": 0, "failed": 0, "rejected": 0}
+        self.verbs = {}
+        self._server = None
+        self._shutdown = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def serve(self, ready=None):
+        """Listen until shutdown; ``ready`` (an Event) is set once bound."""
+        self._shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            # RuntimeError/ValueError: signal handlers only install from the
+            # main thread (tests run the daemon on a side thread).
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                loop.add_signal_handler(signum, self._shutdown.set)
+        if self.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=self.socket_path, limit=protocol.MAX_LINE
+            )
+            where = self.socket_path
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, host=self.host, port=self.port, limit=protocol.MAX_LINE
+            )
+            addr = self._server.sockets[0].getsockname()
+            self.port = addr[1]
+            where = "%s:%d" % (self.host, self.port)
+        log(
+            "serve: listening on %s (%s)",
+            where,
+            "inline" if self.pool.inline else "%d workers" % self.pool.workers,
+        )
+        if ready is not None:
+            ready.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            self.pool.close()
+            if self.socket_path is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(self.socket_path)
+            log("serve: stopped (%d requests, %d rejected)",
+                self.counts["requests"], self.counts["rejected"])
+
+    def stop(self):
+        """Request shutdown (idempotent; safe from the event loop only)."""
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _on_connection(self, reader, writer):
+        try:
+            try:
+                line = await asyncio.wait_for(reader.readline(), timeout=READ_TIMEOUT)
+                wire = protocol.decode(line)
+            except (PhloemError, asyncio.TimeoutError, ValueError) as exc:
+                await self._send(
+                    writer,
+                    protocol.response_message(
+                        error_response(None, "bad-request", str(exc), exit_code=2).to_wire()
+                    ),
+                )
+                return
+            if protocol.is_control(wire):
+                await self._on_control(wire, writer)
+            else:
+                await self._on_request(wire, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # the client went away; nothing to answer
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _on_control(self, wire, writer):
+        action = wire.get("action")
+        if action == "ping":
+            payload = {
+                "ok": True,
+                "pid": os.getpid(),
+                "workers": self.pool.workers,
+                "inline": self.pool.inline,
+            }
+        elif action == "stats":
+            payload = self.stats()
+        elif action == "shutdown":
+            payload = {"ok": True, "stopping": True}
+        else:
+            payload = {"ok": False, "error": "unknown control action %r" % (action,)}
+        await self._send(writer, protocol.control_reply(payload))
+        if action == "shutdown":
+            self.stop()
+
+    async def _on_request(self, wire, writer):
+        verb = wire.get("verb")
+        client = wire.get("client") or "anon"
+        self.counts["requests"] += 1
+        self.verbs[verb] = self.verbs.get(verb, 0) + 1
+        if verb not in REQUEST_TYPES:
+            await self._send(
+                writer,
+                protocol.response_message(
+                    error_response(
+                        verb, "unsupported-verb", "no handler for verb %r" % (verb,), exit_code=2
+                    ).to_wire()
+                ),
+            )
+            self.counts["failed"] += 1
+            return
+        admitted, code = self.governor.admit(client)
+        if not admitted:
+            self.counts["rejected"] += 1
+            await self._send(
+                writer,
+                protocol.response_message(
+                    error_response(
+                        verb,
+                        code,
+                        "client %r rejected: %s (limits %r)"
+                        % (client, code, self.governor.snapshot()["limits"]),
+                        exit_code=REJECTED_EXIT_CODE,
+                    ).to_wire()
+                ),
+            )
+            return
+        try:
+            loop = asyncio.get_running_loop()
+            response_wire, delta = await self.pool.submit(wire, loop)
+            cache.merge_stats(delta)
+            payload = response_wire.get("payload") or {}
+            records = payload.get("records") or []
+            for record in records:
+                await self._send(writer, protocol.record_message(record))
+            await self._send(
+                writer, protocol.response_message(response_wire, streamed=len(records))
+            )
+            if payload.get("error") is None:
+                self.counts["completed"] += 1
+            else:
+                self.counts["failed"] += 1
+        finally:
+            self.governor.release(client)
+
+    async def _send(self, writer, message):
+        writer.write(protocol.encode(message))
+        await writer.drain()
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self):
+        """Plain-data daemon stats (the ``stats`` control reply)."""
+        return {
+            "ok": True,
+            "uptime_s": round(time.time() - self.started, 3),
+            "counts": dict(self.counts),
+            "verbs": dict(self.verbs),
+            "governor": self.governor.snapshot(),
+            "cache": cache.stats(),
+            "workers": self.pool.workers,
+            "inline": self.pool.inline,
+        }
+
+
+def serve_main(
+    socket_path=None,
+    host=None,
+    port=0,
+    workers=2,
+    rate=10.0,
+    burst=20.0,
+    quota=4,
+):
+    """Blocking entry point behind ``repro serve``; returns an exit code."""
+    try:
+        daemon = Daemon(
+            socket_path=socket_path,
+            host=host,
+            port=port,
+            workers=workers,
+            rate=rate,
+            burst=burst,
+            quota=quota,
+        )
+    except PhloemError as exc:
+        log("serve: error: %s", exc)
+        return 2
+    try:
+        asyncio.run(daemon.serve())
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,0 +1,104 @@
+"""The daemon's fork-based request worker pool.
+
+Reuses the :mod:`repro.bench.parallel` fork-pool machinery and contracts:
+workers are forked once at daemon startup (before the event loop runs),
+mark themselves with the same worker flag — so any nested
+:func:`repro.bench.parallel.run_jobs` inside a request degrades to the
+serial path instead of spawning a pool inside a pool — and ship their
+:mod:`repro.cache` hit/miss delta back with every result so the parent's
+counters reflect the whole fleet, exactly as the figures harness does.
+
+Workers are long-lived: their in-process memo layers stay warm across
+requests, and all of them share the on-disk content-addressed store, so
+any client's compile warms every later client's.
+
+``workers <= 0`` (or a platform without ``fork``) selects the inline
+executor: requests run in the calling process, which is what the tests
+and tiny deployments want.
+"""
+
+import multiprocessing
+
+from .. import cache
+from ..api.handlers import handle
+from ..api.requests import Request, error_response
+from ..bench.parallel import _fork_available, _pool_init
+from ..errors import PhloemError
+
+
+def execute_wire(wire):
+    """Run one request wire dict; returns ``(response_wire, cache_delta)``.
+
+    The module-level worker entry point (fork pools need a picklable
+    target). Toolchain and validation failures become structured error
+    responses — a worker never takes the daemon down with it.
+    """
+    before = cache.stats_snapshot()
+    verb = wire.get("verb") if isinstance(wire, dict) else None
+    try:
+        response = handle(Request.from_wire(wire))
+    except PhloemError as exc:
+        response = error_response(verb, "toolchain-error", str(exc), exit_code=1)
+    except Exception as exc:  # noqa: BLE001 - the pool must survive anything
+        response = error_response(
+            verb, "internal-error", "%s: %s" % (type(exc).__name__, exc), exit_code=1
+        )
+    return response.to_wire(), cache.stats_delta(before)
+
+
+class RequestPool:
+    """Fixed-size fork pool executing request wires for the daemon.
+
+    :meth:`submit` bridges ``apply_async`` into the caller's asyncio loop:
+    it returns a future resolved from the pool's result thread via
+    ``call_soon_threadsafe``. The parent folds each worker's cache delta
+    into its own counters (fleet-wide stats), mirroring
+    :func:`repro.bench.parallel.run_jobs`.
+    """
+
+    def __init__(self, workers=2):
+        self.workers = max(0, int(workers))
+        self._pool = None
+        if self.workers > 0 and _fork_available():
+            ctx = multiprocessing.get_context("fork")
+            self._pool = ctx.Pool(self.workers, initializer=_pool_init)
+
+    @property
+    def inline(self):
+        """True when requests execute in the daemon process itself."""
+        return self._pool is None
+
+    def submit(self, wire, loop):
+        """Schedule one request; returns an asyncio future of its result."""
+        future = loop.create_future()
+
+        if self._pool is None:
+            response_wire, delta = execute_wire(wire)
+            future.set_result((response_wire, delta))
+            return future
+
+        def done(result):
+            loop.call_soon_threadsafe(_resolve, future, result)
+
+        def failed(exc):
+            loop.call_soon_threadsafe(_reject, future, exc)
+
+        self._pool.apply_async(execute_wire, (wire,), callback=done, error_callback=failed)
+        return future
+
+    def close(self):
+        """Tear the pool down (daemon shutdown)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def _resolve(future, result):
+    if not future.cancelled():
+        future.set_result(result)
+
+
+def _reject(future, exc):
+    if not future.cancelled():
+        future.set_exception(exc)

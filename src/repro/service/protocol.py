@@ -1,0 +1,119 @@
+"""Wire protocol of the compile-and-simulate daemon (NDJSON over a socket).
+
+One connection carries one job: the client sends a single line — a
+:mod:`repro.api` request envelope or a control envelope — and reads lines
+back until the terminal ``response`` message:
+
+* client -> server: ``Request.to_wire()`` plus a ``client`` identity key
+  (the rate-limit/quota subject), or
+  ``{"schema": "repro.service/control", "version": 1, "action": ...}``
+  for ``ping``/``stats``/``shutdown``;
+* server -> client: zero or more ``{"kind": "record", "payload": ...}``
+  lines — the RunRecord/diagnostic JSONL stream — then exactly one
+  ``{"kind": "response", "payload": Response.to_wire(), "streamed": n}``
+  (records already streamed are not repeated inside the final payload),
+  or one ``{"kind": "control-reply", "payload": ...}`` for controls.
+
+Every line is one ``sort_keys`` JSON object; the framing is newline
+delimited so any language (or ``nc`` + ``jq``) can speak it.
+"""
+
+import json
+import os
+
+from ..api.requests import ApiError
+
+#: Schema identity of daemon control messages (ping/stats/shutdown).
+CONTROL_SCHEMA = "repro.service/control"
+CONTROL_VERSION = 1
+
+#: Actions a control envelope may request.
+CONTROL_ACTIONS = ("ping", "stats", "shutdown")
+
+#: Maximum accepted line length (a kernel source is kilobytes; 32 MiB is
+#: generous and bounds a misbehaving peer).
+MAX_LINE = 32 * 1024 * 1024
+
+
+def default_socket_path(create_dir=False):
+    """The rendezvous unix socket when none is given explicitly.
+
+    ``REPRO_SOCKET`` overrides; otherwise ``serve.sock`` next to the
+    on-disk cache (``REPRO_CACHE_DIR`` or the user cache directory), so a
+    bare ``repro serve`` and a bare ``repro submit`` find each other.
+    """
+    path = os.environ.get("REPRO_SOCKET")
+    if path:
+        return path
+    base = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.path.expanduser("~"), ".cache", "phloem-repro"
+    )
+    if create_dir:
+        os.makedirs(base, exist_ok=True)
+    return os.path.join(base, "serve.sock")
+
+
+def encode(obj):
+    """One wire line: sorted-keys JSON plus the newline terminator."""
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line):
+    """Parse one wire line back into a dict (:class:`ApiError` on junk)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ApiError("empty protocol line")
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ApiError("undecodable protocol line: %s" % exc) from exc
+    if not isinstance(obj, dict):
+        raise ApiError("protocol line must be a JSON object, got %r" % type(obj).__name__)
+    return obj
+
+
+def request_envelope(request, client="anon"):
+    """The client->server line for one API request."""
+    wire = request.to_wire()
+    wire["client"] = client
+    return wire
+
+
+def control_envelope(action, client="anon"):
+    """The client->server line for one control action."""
+    if action not in CONTROL_ACTIONS:
+        raise ApiError(
+            "unknown control action %r (choose from %s)" % (action, ", ".join(CONTROL_ACTIONS))
+        )
+    return {
+        "schema": CONTROL_SCHEMA,
+        "version": CONTROL_VERSION,
+        "action": action,
+        "client": client,
+    }
+
+
+def is_control(wire):
+    """True when a decoded envelope is a daemon control message."""
+    return wire.get("schema") == CONTROL_SCHEMA
+
+
+def record_message(payload):
+    """One streamed structured record (RunRecord, diagnostic, ...)."""
+    return {"kind": "record", "payload": payload}
+
+
+def response_message(response_wire, streamed=0):
+    """The terminal message of a job; already-streamed records stripped."""
+    payload = dict(response_wire)
+    inner = dict(payload.get("payload") or {})
+    inner["records"] = []
+    payload["payload"] = inner
+    return {"kind": "response", "payload": payload, "streamed": streamed}
+
+
+def control_reply(payload):
+    """The terminal message of a control action."""
+    return {"kind": "control-reply", "payload": payload}

@@ -1,0 +1,100 @@
+"""Handler semantics: requests in, typed responses with captured output out."""
+
+import json
+
+import pytest
+
+from repro import api
+
+KERNEL = """
+#pragma phloem
+void k(const int* restrict a, const int* restrict b, int* restrict out, int n) {
+  for (int i = 0; i < n; i++) {
+    int v = a[i];
+    out[i] = b[v];
+  }
+}
+"""
+
+
+def test_emit_summary_response():
+    response = api.handle(api.CompileRequest(source=KERNEL, fmt="summary"))
+    assert isinstance(response, api.CompileResponse)
+    assert response.ok
+    assert "stages" in response.output
+    assert response.summary is not None and "RAs" in response.summary
+
+
+def test_handle_accepts_wire_dicts():
+    wire = api.CompileRequest(source=KERNEL, fmt="summary").to_wire()
+    response = api.handle(wire)
+    assert response.ok and "stages" in response.output
+
+
+def test_handle_rejects_unknown_wire():
+    with pytest.raises(api.ApiError):
+        api.handle({"schema": "repro.api/request", "version": 1, "verb": "nope"})
+
+
+def test_lint_clean_kernel():
+    response = api.handle(api.LintRequest(source=KERNEL, file="k.c"))
+    assert isinstance(response, api.LintResponse)
+    assert response.ok
+    assert response.errors == 0
+
+
+BAD_KERNEL = """
+#pragma phloem
+void bad(int n) {
+  #pragma phloem
+  n = 1;
+}
+"""
+
+
+def test_lint_bad_kernel_collects_diagnostics():
+    response = api.handle(api.LintRequest(source=BAD_KERNEL, file="bad.c", json=True))
+    assert response.exit_code != 0
+    assert response.errors > 0
+    assert response.records, "json lint must carry structured diagnostics"
+    codes = {d.get("code") for d in response.records}
+    assert any(code and code.startswith("PHL") for code in codes)
+
+
+def test_demo_reports_speedup():
+    response = api.handle(api.RunRequest(bench="bfs", size=300))
+    assert isinstance(response, api.RunResponse)
+    assert response.ok
+    assert response.speedup is not None and response.speedup > 0
+    assert "serial" in response.output and "phloem" in response.output
+
+
+def test_metrics_records_match_stdout_jsonl():
+    response = api.handle(api.MetricsRequest(bench="bfs", size=300, quiet=True))
+    assert isinstance(response, api.MetricsResponse)
+    assert response.ok
+    lines = [json.loads(line) for line in response.output.splitlines() if line.strip()]
+    assert lines == response.records
+    assert {r["variant"] for r in response.records} >= {"serial", "phloem-static"}
+
+
+def test_metrics_cache_delta_is_per_request(tmp_path, monkeypatch):
+    from repro import cache
+
+    # Cold start regardless of what earlier tests compiled in-process.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cache.reset()
+    cold = api.handle(api.MetricsRequest(bench="cc", size=300, seed=7, quiet=True))
+    warm = api.handle(api.MetricsRequest(bench="cc", size=300, seed=7, quiet=True))
+    assert cold.cache is not None and warm.cache is not None
+    assert cold.cache["pipeline"]["misses"] >= 1
+    assert warm.cache["pipeline"]["hits"] >= 1
+    assert warm.cache["pipeline"]["misses"] == 0
+    # Warm-vs-warm runs are deterministic and byte-identical.
+    rewarm = api.handle(api.MetricsRequest(bench="cc", size=300, seed=7, quiet=True))
+    assert rewarm.output == warm.output
+
+
+def test_output_is_captured_not_printed(capsys):
+    api.handle(api.RunRequest(bench="bfs", size=300))
+    assert capsys.readouterr().out == ""

@@ -1,0 +1,110 @@
+"""Wire (de)serialization of the request/response layer."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    API_VERSION,
+    ApiError,
+    BenchPerfRequest,
+    CompileRequest,
+    LintRequest,
+    MetricsRequest,
+    MetricsResponse,
+    Request,
+    Response,
+    RunRequest,
+    SearchRequest,
+    TraceRequest,
+    error_response,
+)
+from repro.api.requests import REQUEST_SCHEMA, REQUEST_TYPES, RESPONSE_FOR_VERB
+
+ALL_REQUESTS = [
+    CompileRequest(source="void k() {}", name="k", fmt="summary"),
+    LintRequest(bench="bfs", json=True),
+    RunRequest(bench="cc", size=120, seed=3),
+    SearchRequest(bench="prd"),
+    TraceRequest(bench="radii", trace_out="/tmp/t.json", profile_passes=True),
+    MetricsRequest(bench="spmm", jobs=2, quiet=True),
+    BenchPerfRequest(benches=("bfs", "cc"), scale="quick", strict=True),
+]
+
+
+@pytest.mark.parametrize("request_obj", ALL_REQUESTS, ids=lambda r: r.VERB)
+def test_round_trip_preserves_fields(request_obj):
+    wire = request_obj.to_wire()
+    # The wire object must survive real JSON serialization.
+    rebuilt = Request.from_wire(json.loads(json.dumps(wire)))
+    assert type(rebuilt) is type(request_obj)
+    assert rebuilt.to_wire() == wire
+
+
+def test_wire_envelope_shape():
+    wire = MetricsRequest(bench="bfs").to_wire()
+    assert wire["schema"] == REQUEST_SCHEMA
+    assert wire["version"] == API_VERSION
+    assert wire["verb"] == "metrics"
+    assert wire["payload"]["bench"] == "bfs"
+
+
+def test_unknown_payload_keys_ignored():
+    wire = RunRequest(bench="bfs").to_wire()
+    wire["payload"]["added_in_v99"] = {"x": 1}
+    rebuilt = Request.from_wire(wire)
+    assert rebuilt.bench == "bfs"
+    assert not hasattr(rebuilt, "added_in_v99")
+
+
+def test_wrong_schema_rejected():
+    with pytest.raises(ApiError):
+        Request.from_wire({"schema": "nope", "version": 1, "verb": "demo"})
+
+
+def test_bad_version_rejected():
+    wire = RunRequest().to_wire()
+    wire["version"] = "one"
+    with pytest.raises(ApiError):
+        Request.from_wire(wire)
+
+
+def test_unknown_verb_rejected():
+    wire = RunRequest().to_wire()
+    wire["verb"] = "frobnicate"
+    with pytest.raises(ApiError):
+        Request.from_wire(wire)
+
+
+def test_every_verb_has_a_response_type():
+    assert set(REQUEST_TYPES) == set(RESPONSE_FOR_VERB)
+
+
+def test_response_round_trip():
+    response = MetricsResponse(
+        verb="metrics",
+        exit_code=0,
+        output="{}\n",
+        records=[{"bench": "bfs"}],
+        cache={"pipeline": {"hits": 1, "misses": 0}},
+    )
+    rebuilt = Response.from_wire(json.loads(json.dumps(response.to_wire())))
+    assert type(rebuilt) is MetricsResponse
+    assert rebuilt.ok
+    assert rebuilt.records == [{"bench": "bfs"}]
+    assert rebuilt.cache["pipeline"]["hits"] == 1
+
+
+def test_response_unknown_type_falls_back_to_base():
+    wire = Response(verb="demo").to_wire()
+    wire["type"] = "FutureResponse"
+    rebuilt = Response.from_wire(wire)
+    assert type(rebuilt) is Response
+    assert rebuilt.verb == "demo"
+
+
+def test_error_response_shape():
+    response = error_response("demo", "rate-limited", "slow down", exit_code=75)
+    assert not response.ok
+    assert response.exit_code == 75
+    assert response.error == {"code": "rate-limited", "message": "slow down"}

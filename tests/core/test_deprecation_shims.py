@@ -1,0 +1,85 @@
+"""The legacy kwarg shims: one DeprecationWarning, CompileOptions semantics."""
+
+import warnings
+
+import pytest
+
+from repro.bench.harness import adapter_for, run_suite
+from repro.core import CompileOptions, compile_function, pipeline_summary
+from repro.frontend import compile_source
+from repro.workloads.datasets import GraphInput
+from repro.workloads.graphs import uniform_random
+
+KERNEL = """
+#pragma phloem
+void k(const int* restrict a, const int* restrict b, int* restrict out, int n) {
+  for (int i = 0; i < n; i++) {
+    int v = a[i];
+    out[i] = b[v];
+  }
+}
+"""
+
+
+@pytest.fixture
+def function():
+    return compile_source(KERNEL)
+
+
+def test_legacy_kwargs_warn_once(function):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        compile_function(function, num_stages=3, max_ras=2)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, "one warning per call, not one per kwarg"
+    message = str(deprecations[0].message)
+    assert "max_ras" in message and "num_stages" in message
+    assert "CompileOptions" in message
+
+
+def test_options_path_does_not_warn(function):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        compile_function(function, options=CompileOptions(num_stages=3))
+
+
+def test_legacy_kwargs_override_options(function):
+    """Explicit kwargs still win over the options value (merge semantics)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        merged = compile_function(
+            function, options=CompileOptions(num_stages=4, max_ras=2), num_stages=2
+        )
+    direct = compile_function(function, options=CompileOptions(num_stages=2, max_ras=2))
+    assert pipeline_summary(merged) == pipeline_summary(direct)
+
+
+def test_legacy_kwargs_equal_options(function):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        via_kwargs = compile_function(function, num_stages=3)
+    via_options = compile_function(function, options=CompileOptions(num_stages=3))
+    assert pipeline_summary(via_kwargs) == pipeline_summary(via_options)
+
+
+def test_run_suite_num_stages_warns(tiny_config):
+    inputs = [GraphInput("t", "test", lambda: uniform_random(60, 3, seed=5))]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        run_suite(
+            adapter_for("bfs"), inputs, [], config=tiny_config,
+            variants=("serial",), num_stages=3,
+        )
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "CompileOptions" in str(deprecations[0].message)
+
+
+def test_run_suite_options_path_does_not_warn(tiny_config):
+    inputs = [GraphInput("t", "test", lambda: uniform_random(60, 3, seed=5))]
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        run_suite(
+            adapter_for("bfs"), inputs, [], config=tiny_config,
+            variants=("serial",), options=CompileOptions(num_stages=3),
+        )

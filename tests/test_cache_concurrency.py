@@ -1,0 +1,116 @@
+"""Cross-process cache behavior: one miss + one hit, never a corrupt store.
+
+Two forked children race for the same cache key over one shared
+``REPRO_CACHE_DIR``. The per-key ``flock`` in :mod:`repro.cache` must make
+exactly one of them compute (the miss) while the other blocks and loads
+the winner's entry (the hit); the write-then-rename store must leave a
+pickle any later process can read.
+"""
+
+import json
+import multiprocessing
+import os
+import pickle
+import time
+
+import pytest
+
+from repro import cache
+from repro.core import CompileOptions, pipeline_summary
+from repro.frontend import compile_source
+
+FORK = "fork" in multiprocessing.get_all_start_methods()
+pytestmark = pytest.mark.skipif(not FORK, reason="needs fork start method")
+
+KERNEL = """
+#pragma phloem
+void k(const int* restrict a, const int* restrict b, int* restrict out, int n) {
+  for (int i = 0; i < n; i++) {
+    int v = a[i];
+    out[i] = b[v];
+  }
+}
+"""
+
+
+def _run_children(*targets):
+    ctx = multiprocessing.get_context("fork")
+    procs = [ctx.Process(target=target) for target in targets]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(60)
+        assert proc.exitcode == 0, "child failed (exitcode %r)" % proc.exitcode
+
+
+def test_simultaneous_compiles_share_one_miss(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    function = compile_source(KERNEL)
+    options = CompileOptions()
+    barrier = multiprocessing.get_context("fork").Barrier(2)
+    out_dir = tmp_path / "out"
+    out_dir.mkdir()
+
+    def child(idx):
+        def run():
+            cache.reset()  # drop state inherited over fork; fresh counters
+            barrier.wait()
+            pipeline = cache.cached_compile(function, options)
+            (out_dir / ("%d.json" % idx)).write_text(
+                json.dumps(
+                    {
+                        "stats": cache.stats()["pipeline"],
+                        "summary": pipeline_summary(pipeline),
+                    }
+                )
+            )
+
+        return run
+
+    _run_children(child(0), child(1))
+    results = [json.loads((out_dir / ("%d.json" % i)).read_text()) for i in range(2)]
+    hits = sum(r["stats"]["hits"] for r in results)
+    misses = sum(r["stats"]["misses"] for r in results)
+    assert misses == 1, "exactly one child computes: %r" % results
+    assert hits == 1, "the other takes the winner's entry: %r" % results
+    assert results[0]["summary"] == results[1]["summary"]
+
+    # The store entry is a clean pickle, and a fresh process-like state
+    # (cold memory layer) hits it too.
+    (entry,) = [
+        os.path.join(root, name)
+        for root, _, names in os.walk(tmp_path / "shared" / "pipeline")
+        for name in names
+        if name.endswith(".pkl")
+    ]
+    with open(entry, "rb") as handle:
+        pickle.load(handle)
+    cache.reset()
+    cache.cached_compile(function, options)
+    assert cache.stats()["pipeline"] == {"hits": 1, "misses": 0}
+
+
+def test_key_lock_serializes_overlapping_computes(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    marker = tmp_path / "computes.log"
+    barrier = multiprocessing.get_context("fork").Barrier(2)
+
+    def child():
+        cache.reset()
+        barrier.wait()
+
+        def compute():
+            # Record the invocation, then dawdle while holding the key
+            # lock so the race partner is provably blocked, not just late.
+            with open(marker, "a") as handle:
+                handle.write("x")
+            time.sleep(0.3)
+            return {"value": 42}
+
+        value = cache.cached_search(("concurrency-test", str(tmp_path)), compute)
+        assert value == {"value": 42}
+
+    _run_children(child, child)
+    assert marker.read_text() == "x", "compute must run exactly once across the race"

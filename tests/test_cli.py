@@ -249,3 +249,72 @@ class TestLint:
 
     def test_lint_unknown_bench_rejected(self, capsys):
         assert main(["lint", "--bench", "nope"]) == 2
+
+
+class TestApiLayer:
+    """The CLI is a thin frontend over repro.api: argv -> request -> handle."""
+
+    def test_cli_has_no_toolchain_imports(self):
+        """Verb logic lives in repro.api.handlers; cli.py only builds requests."""
+        import ast
+        import inspect
+
+        import repro.cli
+
+        tree = ast.parse(inspect.getsource(repro.cli))
+        banned = ("core", "frontend", "ir", "pipette", "analysis", "runtime")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                assert root not in banned, "cli.py imports repro.%s" % node.module
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    assert root not in banned, "cli.py imports %s" % alias.name
+
+    def test_every_submittable_verb_builds_its_request(self, kernel_file):
+        from repro import api
+        from repro.cli import _REQUEST_BUILDERS
+
+        parser = build_parser()
+        argvs = {
+            "emit": ["emit", kernel_file, "--format", "summary"],
+            "lint": ["lint", kernel_file, "--json"],
+            "demo": ["demo", "bfs", "--size", "300"],
+            "search": ["search", "cc"],
+            "trace": ["trace", "prd", "--quiet"],
+            "metrics": ["metrics", "radii", "--jobs", "2"],
+            "bench-perf": ["bench", "perf", "bfs", "--quick", "--json"],
+        }
+        assert set(argvs) == set(_REQUEST_BUILDERS)
+        for verb, argv in argvs.items():
+            args = parser.parse_args(argv)
+            request = _REQUEST_BUILDERS[args.verb](args)
+            assert request.VERB == verb
+            assert type(request) is api.REQUEST_TYPES[verb]
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--socket", "/tmp/x.sock"])
+        assert args.verb == "serve"
+        assert args.workers == 2 and args.quota == 4
+        assert args.rate == 10.0 and args.burst == 20.0
+
+    def test_submit_parser_captures_verb_argv(self):
+        args = build_parser().parse_args(
+            ["submit", "--socket", "/tmp/x.sock", "--stream", "metrics", "bfs", "--size", "300"]
+        )
+        assert args.verb == "submit"
+        assert args.stream
+        assert args.argv == ["metrics", "bfs", "--size", "300"]
+
+    def test_submit_without_verb_or_control_is_an_error(self, capsys):
+        assert main(["submit", "--socket", "/tmp/never-bound.sock"]) == 2
+        assert "give a verb" in capsys.readouterr().out
+
+    def test_submit_rejects_non_submittable_verbs(self, capsys):
+        assert main(["submit", "--socket", "/tmp/never-bound.sock", "figures"]) == 2
+        assert "only in-process" in capsys.readouterr().out
+
+    def test_submit_unreachable_daemon_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["submit", "--socket", str(tmp_path / "nope.sock"), "demo", "bfs"]) == 1
+        assert "cannot reach daemon" in capsys.readouterr().err
