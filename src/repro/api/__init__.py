@@ -30,6 +30,8 @@ from .requests import (
     LintResponse,
     MetricsRequest,
     MetricsResponse,
+    ReportRequest,
+    ReportResponse,
     Request,
     Response,
     RunRequest,
@@ -64,6 +66,8 @@ __all__ = [
     "MetricsResponse",
     "BenchPerfRequest",
     "BenchPerfResponse",
+    "ReportRequest",
+    "ReportResponse",
     "error_response",
     "handle",
     "DEMO_VARIANTS",

@@ -310,6 +310,36 @@ def _run_bench_perf(req):
     return status, perfmod.obs_records(records), extras
 
 
+def _run_report(req):
+    import os
+
+    from .. import obs
+
+    if req.quiet:
+        obs.set_quiet(True)
+    if not req.results_dir or not os.path.isdir(req.results_dir):
+        print("report: results directory %r not found" % (req.results_dir,))
+        return 2, [], {}
+    extra = (req.baseline,) if req.baseline else ()
+    report = obs.collect(req.results_dir, extra_files=extra, title=req.title)
+    markdown = obs.render_markdown(report)
+    written = []
+    if req.out:
+        with open(req.out, "w") as handle:
+            handle.write(markdown)
+        written.append(req.out)
+    if req.html_out:
+        with open(req.html_out, "w") as handle:
+            handle.write(obs.render_html(report))
+        written.append(req.html_out)
+    if not req.out:
+        print(markdown, end="")
+    for path in written:
+        obs.log("report: wrote %s", path)
+    summary = report.summary()
+    return 0, [summary], {"summary": summary}
+
+
 _RUNNERS = {
     "emit": _run_emit,
     "lint": _run_lint,
@@ -318,6 +348,7 @@ _RUNNERS = {
     "trace": _run_trace,
     "metrics": _run_metrics,
     "bench-perf": _run_bench_perf,
+    "report": _run_report,
 }
 
 

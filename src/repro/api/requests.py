@@ -3,8 +3,9 @@
 Every CLI verb (and every daemon job) is described by one frozen-shape
 request dataclass — :class:`CompileRequest`, :class:`LintRequest`,
 :class:`RunRequest`, :class:`SearchRequest`, :class:`TraceRequest`,
-:class:`MetricsRequest`, :class:`BenchPerfRequest` — and answered by one
-:class:`Response` dataclass. Both sides are plain JSON-serializable data
+:class:`MetricsRequest`, :class:`BenchPerfRequest`, :class:`ReportRequest` —
+and answered by one :class:`Response` dataclass.
+Both sides are plain JSON-serializable data
 following the ``repro.obs/run-record`` and ``repro.bench/perf-record``
 idioms: a ``schema`` tag plus an integer ``version`` ride on every wire
 object, additions never bump the version, and consumers ignore unknown
@@ -196,6 +197,28 @@ class MetricsRequest(Request):
 
 
 @dataclass
+class ReportRequest(Request):
+    """``repro report``: aggregate a results directory into one report.
+
+    ``results_dir`` (and the optional extra ``baseline`` file) are
+    resolved where the request executes — like :class:`TraceRequest`
+    output paths, a daemon reads server-side files, which is the point of
+    a unix-socket service sharing the machine with its clients. ``out``/
+    ``html_out`` write the rendered report(s) server-side; with neither
+    set, the markdown rendering is the stdout payload.
+    """
+
+    VERB = "report"
+
+    results_dir: str = ""
+    title: str = None
+    baseline: str = "BENCH_pipette.json"
+    out: str = None  # write markdown here instead of stdout
+    html_out: str = None  # also write the single-file HTML page here
+    quiet: bool = False
+
+
+@dataclass
 class BenchPerfRequest(Request):
     """``repro bench perf``: the simulator perf-regression harness."""
 
@@ -229,6 +252,7 @@ REQUEST_TYPES = {
         TraceRequest,
         MetricsRequest,
         BenchPerfRequest,
+        ReportRequest,
     )
 }
 
@@ -335,6 +359,13 @@ class BenchPerfResponse(Response):
     aggregate: dict = None
 
 
+@dataclass
+class ReportResponse(Response):
+    """``report`` result; ``summary`` is the schema-stamped section census."""
+
+    summary: dict = None
+
+
 #: Response type tag -> class, for the wire decoder.
 RESPONSE_TYPES = {
     cls.__name__: cls
@@ -347,6 +378,7 @@ RESPONSE_TYPES = {
         TraceResponse,
         MetricsResponse,
         BenchPerfResponse,
+        ReportResponse,
     )
 }
 
@@ -359,6 +391,7 @@ RESPONSE_FOR_VERB = {
     "trace": TraceResponse,
     "metrics": MetricsResponse,
     "bench-perf": BenchPerfResponse,
+    "report": ReportResponse,
 }
 
 

@@ -28,6 +28,7 @@ cycles — any spread is a determinism bug and fails the run.
 import gc
 import json
 import os
+import subprocess
 import time
 
 from ..cache import cached_compile
@@ -41,6 +42,9 @@ PERF_VERSION = 1
 
 #: Default committed baseline, resolved against the working directory.
 BASELINE_FILE = "BENCH_pipette.json"
+
+#: History entries kept in a baseline file (oldest dropped beyond this).
+HISTORY_LIMIT = 50
 
 #: Fractional wall-time tolerance before a regression warning.
 DEFAULT_THRESHOLD = 0.25
@@ -229,8 +233,87 @@ def baseline_payload(records, scale):
     }
 
 
-def write_baseline(records, scale, path=BASELINE_FILE):
+def git_describe(cwd=None):
+    """The working tree's ``git describe`` identity, or ``"unknown"``.
+
+    Keys history entries: two updates from the same commit replace each
+    other instead of piling up.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    text = out.stdout.strip()
+    return text if out.returncode == 0 and text else "unknown"
+
+
+def history_entry(records, scale, git=None, engine="fastpath"):
+    """One compact trajectory point for the baseline's ``history`` list."""
+    return {
+        "git": git_describe() if git is None else git,
+        "engine": engine,
+        "scale": scale,
+        "recorded": time.strftime("%Y-%m-%d", time.gmtime()),
+        "aggregate": aggregate(records),
+        "benches": {
+            r["bench"]: {
+                "cycles": r["cycles"],
+                "fast_wall_s": r["fast_wall_s"],
+                "slow_wall_s": r["slow_wall_s"],
+                "speedup": r["speedup"],
+                "sim_mcycles_per_s": r["sim_mcycles_per_s"],
+            }
+            for r in records
+        },
+    }
+
+
+def append_history(history, entry, limit=HISTORY_LIMIT):
+    """``history`` plus ``entry``, replacing any same-key prior point.
+
+    The key is ``(engine, git, scale)`` — re-recording from the same
+    commit updates that point in place (walls drift with the machine),
+    while a new commit appends a new trajectory point.
+    """
+    key = (entry.get("engine"), entry.get("git"), entry.get("scale"))
+    kept = [
+        e
+        for e in history
+        if (e.get("engine"), e.get("git"), e.get("scale")) != key
+    ]
+    kept.append(entry)
+    return kept[-limit:]
+
+
+def write_baseline(records, scale, path=BASELINE_FILE, git=None):
+    """Write the regression baseline, growing its measurement history.
+
+    The top-level ``records``/``aggregate`` are always the *latest*
+    measurement (the regression baseline the checker reads); ``history``
+    accumulates one compact entry per ``(engine, git, scale)`` so the
+    report's trajectory sparklines have real data. A pre-history baseline
+    file contributes its records as one synthesized point before being
+    superseded.
+    """
+    history = []
+    if os.path.exists(path):
+        try:
+            previous = read_baseline(path)
+        except (PerfError, ValueError, OSError):
+            previous = None
+        if previous is not None:
+            history = list(previous.get("history") or [])
+            if not history and previous.get("records"):
+                history = [
+                    history_entry(
+                        previous["records"], previous.get("scale"), git="(pre-history)"
+                    )
+                ]
     payload = baseline_payload(records, scale)
+    payload["history"] = append_history(history, history_entry(records, scale, git=git))
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -402,8 +485,16 @@ def run_cli(args):
 
     status = 0
     if args.update_baseline:
-        write_baseline(records, scale, path=args.baseline)
-        print("perf: baseline updated -> %s" % args.baseline)
+        payload = write_baseline(records, scale, path=args.baseline)
+        # Advisory chatter goes through the obs.log funnel (stderr,
+        # silenced by --quiet/REPRO_QUIET) — the table/JSON above is the
+        # stdout payload; errors below stay on stdout because they *are*
+        # the result of a failed check.
+        log(
+            "perf: baseline updated -> %s (%d history points)",
+            args.baseline,
+            len(payload.get("history", [])),
+        )
     elif args.check_baseline:
         if not os.path.exists(args.baseline):
             print("perf: ERROR: baseline %s not found" % args.baseline)
@@ -416,19 +507,25 @@ def run_cli(args):
         errors, warnings = check_against_baseline(
             records, baseline, threshold=args.threshold
         )
+        strict = getattr(args, "strict", False)
         for line in warnings:
-            print("perf: WARNING: %s" % line)
+            # Warnings are telemetry unless --strict promotes them to the
+            # failure payload.
+            if strict:
+                print("perf: WARNING: %s" % line)
+            else:
+                log("perf: WARNING: %s", line)
         for line in errors:
             print("perf: ERROR: %s" % line)
         if errors:
             status = 1
-        elif getattr(args, "strict", False) and warnings:
+        elif strict and warnings:
             status = 1
         else:
-            print(
+            log(
                 "perf: baseline check ok (%d records, aggregate %.2fx vs "
-                "baseline %.2fx)"
-                % (len(records), agg["speedup"], baseline["aggregate"]["speedup"])
+                "baseline %.2fx)",
+                len(records), agg["speedup"], baseline["aggregate"]["speedup"],
             )
     log("perf: %.1fs total", time.perf_counter() - started)
     return status, records

@@ -16,6 +16,9 @@ Commands mirror how the paper's artifact would be driven:
   write a Chrome trace-event file (load it at ui.perfetto.dev);
 * ``metrics BENCH`` — run the comparison suite and emit structured
   JSONL RunRecords (:mod:`repro.obs.record`);
+* ``report DIR`` — aggregate a results directory (RunRecord JSONL, perf
+  baselines, lint JSON, timeline/telemetry snapshots) into one markdown
+  or single-file HTML experiment report (:mod:`repro.obs.report`);
 * ``serve`` — run the long-lived compile-and-simulate daemon
   (:mod:`repro.service`): async socket server, fork worker pool, shared
   caches, per-client rate limits;
@@ -114,6 +117,17 @@ def _req_metrics(args):
     )
 
 
+def _req_report(args):
+    return api.ReportRequest(
+        results_dir=args.results_dir,
+        title=args.title,
+        baseline=args.baseline,
+        out=args.out,
+        html_out=args.html_out,
+        quiet=args.quiet,
+    )
+
+
 def _req_bench_perf(args):
     scale = "full" if args.full else "quick"
     if args.quick:
@@ -144,6 +158,7 @@ _REQUEST_BUILDERS = {
     "trace": _req_trace,
     "metrics": _req_metrics,
     "bench-perf": _req_bench_perf,
+    "report": _req_report,
 }
 
 
@@ -173,6 +188,10 @@ def _cmd_metrics(args):
 
 def _cmd_bench_perf(args):
     return _run_local(_req_bench_perf(args))
+
+
+def _cmd_report(args):
+    return _run_local(_req_report(args))
 
 
 _FIGURES = {
@@ -308,7 +327,12 @@ def _cmd_submit(args):
         argv = argv[1:]
 
     control = None
-    for flag, action in (("ping", "ping"), ("server_stats", "stats"), ("shutdown", "shutdown")):
+    for flag, action in (
+        ("ping", "ping"),
+        ("server_stats", "stats"),
+        ("server_telemetry", "telemetry"),
+        ("shutdown", "shutdown"),
+    ):
         if getattr(args, flag):
             control = action
     if control is None and not argv:
@@ -332,7 +356,12 @@ def _cmd_submit(args):
         if args.wait is not None:
             client.wait_ready(timeout=args.wait)
         if control is not None:
-            print(json.dumps(client.control(control), sort_keys=True))
+            reply = client.control(control)
+            if control == "telemetry":
+                # Raw text exposition, ready for a Prometheus scrape target.
+                sys.stdout.write(reply["text"])
+            else:
+                print(json.dumps(reply, sort_keys=True))
             return 0
 
         def on_record(record):
@@ -527,6 +556,32 @@ def build_parser():
     metrics.add_argument("--quiet", action="store_true", help="silence stderr telemetry")
     metrics.set_defaults(func=_cmd_metrics, verb="metrics")
 
+    report = sub.add_parser(
+        "report",
+        help="aggregate a results directory into one experiment report",
+    )
+    report.add_argument(
+        "results_dir", metavar="DIR",
+        help="directory of RunRecord JSONL, BENCH_*.json, lint JSON, "
+        "timeline and telemetry snapshots",
+    )
+    report.add_argument("--title", default=None, help="report heading")
+    report.add_argument(
+        "--baseline", default="BENCH_pipette.json", metavar="FILE.json",
+        help="perf baseline whose history feeds the trajectory section "
+        "(default: BENCH_pipette.json; missing file is skipped)",
+    )
+    report.add_argument(
+        "--out", default=None, metavar="FILE.md",
+        help="write markdown here instead of stdout",
+    )
+    report.add_argument(
+        "--html-out", default=None, metavar="FILE.html",
+        help="also write the single-file HTML page",
+    )
+    report.add_argument("--quiet", action="store_true", help="silence stderr telemetry")
+    report.set_defaults(func=_cmd_report, verb="report")
+
     serve = sub.add_parser(
         "serve", help="run the compile-and-simulate daemon (async server + worker pool)"
     )
@@ -583,6 +638,10 @@ def build_parser():
     submit.add_argument("--ping", action="store_true", help="liveness probe only")
     submit.add_argument(
         "--server-stats", action="store_true", help="print the daemon's counters"
+    )
+    submit.add_argument(
+        "--server-telemetry", action="store_true",
+        help="print the daemon's telemetry as Prometheus text exposition",
     )
     submit.add_argument("--shutdown", action="store_true", help="stop the daemon")
     submit.add_argument(

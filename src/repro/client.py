@@ -127,6 +127,15 @@ class ServiceClient:
         """The daemon's counters, governor snapshot, and cache stats."""
         return self.control("stats")
 
+    def telemetry(self):
+        """Prometheus text exposition of the daemon's telemetry.
+
+        Returns the text payload directly — pipe it to a file and any
+        Prometheus scraper (or :func:`repro.service.telemetry.parse_prometheus`)
+        can read it.
+        """
+        return self.control("telemetry")["text"]
+
     def shutdown(self):
         """Ask the daemon to stop (it answers, then exits)."""
         return self.control("shutdown")

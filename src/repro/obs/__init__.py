@@ -18,6 +18,11 @@ queue and RA traffic) is built on aggregate counters; this package adds the
   and why the winner won;
 * :mod:`repro.obs.record` — versioned, schema'd ``RunRecord`` dicts
   (JSON/JSONL) unifying simulator stats, cache hit rates, and pass timings;
+* :mod:`repro.obs.report` — the unified experiment report (``repro
+  report``): walks a results directory of RunRecords, perf baselines,
+  lint diags, timelines, and telemetry snapshots into one
+  :class:`~repro.obs.report.ExperimentReport` with markdown and HTML
+  renderers;
 * :mod:`repro.obs.log` — the one diagnostics funnel (quiet-able stderr).
 
 Everything here is opt-in: with no :class:`Tracer` attached, the simulator
@@ -35,6 +40,15 @@ from .record import (
     records_from_suite,
     run_record,
     write_jsonl,
+)
+from .report import (
+    REPORT_SCHEMA,
+    REPORT_VERSION,
+    ExperimentReport,
+    collect,
+    render_html,
+    render_markdown,
+    spark,
 )
 from .search import SearchRecorder
 from .timeline import render_timeline, summarize_timeline
@@ -56,6 +70,13 @@ __all__ = [
     "merge_records",
     "write_jsonl",
     "read_jsonl",
+    "ExperimentReport",
+    "collect",
+    "render_markdown",
+    "render_html",
+    "spark",
+    "REPORT_SCHEMA",
+    "REPORT_VERSION",
     "log",
     "set_quiet",
     "get_quiet",

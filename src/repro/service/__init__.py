@@ -6,12 +6,24 @@ on a fork worker pool (:mod:`repro.service.pool`) over the shared
 content-addressed :mod:`repro.cache`, with per-client token-bucket rate
 limits and job quotas (:mod:`repro.service.ratelimit`). The wire format
 lives in :mod:`repro.service.protocol`; the matching client in
-:mod:`repro.client`.
+:mod:`repro.client`. Request telemetry — per-verb counters, latency
+histograms, Prometheus exposition — lives in
+:mod:`repro.service.telemetry` and rides the ``stats``/``telemetry``
+control actions.
 """
 
 from .daemon import REJECTED_EXIT_CODE, Daemon, serve_main
 from .pool import RequestPool, execute_wire
 from .ratelimit import QUOTA_EXCEEDED, RATE_LIMITED, ClientGovernor, TokenBucket
+from .telemetry import (
+    LATENCY_BUCKETS_S,
+    TELEMETRY_SCHEMA,
+    TELEMETRY_VERSION,
+    LatencyHistogram,
+    ServiceTelemetry,
+    parse_prometheus,
+    render_prometheus,
+)
 
 __all__ = [
     "Daemon",
@@ -23,4 +35,11 @@ __all__ = [
     "ClientGovernor",
     "RATE_LIMITED",
     "QUOTA_EXCEEDED",
+    "ServiceTelemetry",
+    "LatencyHistogram",
+    "LATENCY_BUCKETS_S",
+    "TELEMETRY_SCHEMA",
+    "TELEMETRY_VERSION",
+    "render_prometheus",
+    "parse_prometheus",
 ]

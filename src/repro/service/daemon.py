@@ -31,6 +31,7 @@ from ..obs import log
 from . import protocol
 from .pool import RequestPool
 from .ratelimit import ClientGovernor
+from .telemetry import ServiceTelemetry, render_prometheus
 
 #: Exit code stamped on rejected (rate-limited / over-quota) requests;
 #: EX_TEMPFAIL — the client may retry later.
@@ -67,6 +68,7 @@ class Daemon:
         self.started = time.time()
         self.counts = {"requests": 0, "completed": 0, "failed": 0, "rejected": 0}
         self.verbs = {}
+        self.telemetry = ServiceTelemetry()
         self._server = None
         self._shutdown = None
 
@@ -154,6 +156,12 @@ class Daemon:
             }
         elif action == "stats":
             payload = self.stats()
+        elif action == "telemetry":
+            payload = {
+                "ok": True,
+                "content_type": "text/plain; version=0.0.4",
+                "text": render_prometheus(self.telemetry.snapshot()),
+            }
         elif action == "shutdown":
             payload = {"ok": True, "stopping": True}
         else:
@@ -181,6 +189,7 @@ class Daemon:
         admitted, code = self.governor.admit(client)
         if not admitted:
             self.counts["rejected"] += 1
+            self.telemetry.rejected(verb, code)
             await self._send(
                 writer,
                 protocol.response_message(
@@ -194,23 +203,28 @@ class Daemon:
                 ),
             )
             return
+        started = self.telemetry.begin(verb)
+        failed = True
         try:
             loop = asyncio.get_running_loop()
             response_wire, delta = await self.pool.submit(wire, loop)
             cache.merge_stats(delta)
             payload = response_wire.get("payload") or {}
+            self.telemetry.cache_delta(payload.get("cache"))
+            failed = payload.get("error") is not None
             records = payload.get("records") or []
             for record in records:
                 await self._send(writer, protocol.record_message(record))
             await self._send(
                 writer, protocol.response_message(response_wire, streamed=len(records))
             )
-            if payload.get("error") is None:
-                self.counts["completed"] += 1
-            else:
+            if failed:
                 self.counts["failed"] += 1
+            else:
+                self.counts["completed"] += 1
         finally:
             self.governor.release(client)
+            self.telemetry.finish(verb, started, failed=failed)
 
     async def _send(self, writer, message):
         writer.write(protocol.encode(message))
@@ -219,7 +233,14 @@ class Daemon:
     # -- introspection -------------------------------------------------------
 
     def stats(self):
-        """Plain-data daemon stats (the ``stats`` control reply)."""
+        """Plain-data daemon stats (the ``stats`` control reply).
+
+        ``governor`` includes per-client token-bucket state, ``telemetry``
+        the full :mod:`repro.service.telemetry` snapshot (per-verb
+        counters, latency histograms, cache-delta aggregates) — save it to
+        a JSON file and ``repro report`` renders it like any offline
+        experiment artifact.
+        """
         return {
             "ok": True,
             "uptime_s": round(time.time() - self.started, 3),
@@ -229,6 +250,7 @@ class Daemon:
             "cache": cache.stats(),
             "workers": self.pool.workers,
             "inline": self.pool.inline,
+            "telemetry": self.telemetry.snapshot(),
         }
 
 

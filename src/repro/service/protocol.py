@@ -27,8 +27,9 @@ from ..api.requests import ApiError
 CONTROL_SCHEMA = "repro.service/control"
 CONTROL_VERSION = 1
 
-#: Actions a control envelope may request.
-CONTROL_ACTIONS = ("ping", "stats", "shutdown")
+#: Actions a control envelope may request. ``telemetry`` answers with
+#: Prometheus text exposition; the rest reply in JSON.
+CONTROL_ACTIONS = ("ping", "stats", "telemetry", "shutdown")
 
 #: Maximum accepted line length (a kernel source is kilobytes; 32 MiB is
 #: generous and bounds a misbehaving peer).

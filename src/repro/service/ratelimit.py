@@ -44,13 +44,22 @@ class TokenBucket:
         """Take ``tokens`` if available; returns success without blocking."""
         if self.rate <= 0:
             return True
-        now = self.clock()
-        self.level = min(self.burst, self.level + (now - self.stamp) * self.rate)
-        self.stamp = now
+        self._refill()
         if self.level >= tokens:
             self.level -= tokens
             return True
         return False
+
+    def peek(self):
+        """The current level after refill, without consuming anything."""
+        if self.rate > 0:
+            self._refill()
+        return self.level
+
+    def _refill(self):
+        now = self.clock()
+        self.level = min(self.burst, self.level + (now - self.stamp) * self.rate)
+        self.stamp = now
 
 
 class ClientGovernor:
@@ -93,10 +102,23 @@ class ClientGovernor:
             self._in_flight[client] = count - 1
 
     def snapshot(self):
-        """Plain-data stats: known clients, in-flight counts, rejections."""
+        """Plain-data stats: known clients, in-flight counts, rejections.
+
+        ``buckets`` exposes each client's live token-bucket state (level
+        after refill, against the shared rate/burst), so an operator can
+        see *which* client is about to be throttled, not just that
+        rejections happened.
+        """
         return {
             "clients": sorted(self._buckets),
             "in_flight": dict(self._in_flight),
             "rejected": dict(self._rejected),
+            "buckets": {
+                client: {
+                    "level": round(bucket.peek(), 3),
+                    "in_flight": self._in_flight.get(client, 0),
+                }
+                for client, bucket in sorted(self._buckets.items())
+            },
             "limits": {"rate": self.rate, "burst": self.burst, "quota": self.quota},
         }

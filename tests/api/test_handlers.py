@@ -98,3 +98,53 @@ def test_metrics_cache_delta_is_per_request(tmp_path, monkeypatch):
 def test_output_is_captured_not_printed(capsys):
     api.handle(api.RunRequest(bench="bfs", size=300))
     assert capsys.readouterr().out == ""
+
+
+class TestReport:
+    def _results_dir(self, tmp_path):
+        from repro.obs import run_record, write_jsonl
+
+        write_jsonl(
+            [
+                run_record("bfs", "serial", "tiny", 1000.0, ok=True),
+                run_record("bfs", "phloem-static", "tiny", 400.0, ok=True, speedup=2.5),
+            ],
+            str(tmp_path / "runs.jsonl"),
+        )
+        return str(tmp_path)
+
+    def test_report_markdown_is_the_stdout_payload(self, tmp_path):
+        response = api.handle(
+            api.ReportRequest(results_dir=self._results_dir(tmp_path), baseline=None)
+        )
+        assert isinstance(response, api.ReportResponse)
+        assert response.ok
+        assert "## Per-kernel speedups" in response.output
+        assert "bfs" in response.output
+        assert response.summary["kernels"] == ["bfs"]
+        (record,) = response.records
+        assert record == response.summary
+
+    def test_report_writes_files_instead_of_stdout(self, tmp_path):
+        out = tmp_path / "report.md"
+        html_out = tmp_path / "report.html"
+        response = api.handle(
+            api.ReportRequest(
+                results_dir=self._results_dir(tmp_path),
+                baseline=None,
+                out=str(out),
+                html_out=str(html_out),
+                quiet=True,
+            )
+        )
+        assert response.ok
+        assert response.output == ""
+        assert "## Per-kernel speedups" in out.read_text()
+        assert html_out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_report_missing_directory_exits_2(self, tmp_path):
+        response = api.handle(
+            api.ReportRequest(results_dir=str(tmp_path / "nope"), baseline=None)
+        )
+        assert response.exit_code == 2
+        assert "not found" in response.output

@@ -12,6 +12,7 @@ from repro.api import (
     LintRequest,
     MetricsRequest,
     MetricsResponse,
+    ReportRequest,
     Request,
     Response,
     RunRequest,
@@ -29,6 +30,7 @@ ALL_REQUESTS = [
     TraceRequest(bench="radii", trace_out="/tmp/t.json", profile_passes=True),
     MetricsRequest(bench="spmm", jobs=2, quiet=True),
     BenchPerfRequest(benches=("bfs", "cc"), scale="quick", strict=True),
+    ReportRequest(results_dir="/tmp/results", title="run 1", html_out="/tmp/r.html"),
 ]
 
 

@@ -134,6 +134,63 @@ class TestBaseline:
         assert any("no baseline record" in w for w in warnings)
 
 
+class TestHistory:
+    def test_history_entry_is_compact_and_keyed(self):
+        entry = perf.history_entry([_record()], "quick", git="abc1234")
+        assert entry["git"] == "abc1234"
+        assert entry["engine"] == "fastpath"
+        assert entry["scale"] == "quick"
+        assert entry["aggregate"]["speedup"] == 2.0
+        assert entry["benches"]["bfs"]["cycles"] == 1000
+        json.dumps(entry)
+
+    def test_append_history_replaces_same_key_point(self):
+        first = perf.history_entry([_record(fast=1.0)], "quick", git="abc")
+        rerun = perf.history_entry([_record(fast=0.9)], "quick", git="abc")
+        history = perf.append_history([], first)
+        history = perf.append_history(history, rerun)
+        assert len(history) == 1
+        assert history[0]["benches"]["bfs"]["fast_wall_s"] == 0.9
+        newer = perf.history_entry([_record()], "quick", git="def")
+        history = perf.append_history(history, newer)
+        assert [e["git"] for e in history] == ["abc", "def"]
+
+    def test_append_history_caps_at_limit(self):
+        history = []
+        for i in range(5):
+            entry = perf.history_entry([_record()], "quick", git="g%d" % i)
+            history = perf.append_history(history, entry, limit=3)
+        assert [e["git"] for e in history] == ["g2", "g3", "g4"]
+
+    def test_write_baseline_grows_history_keeps_latest_on_top(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        perf.write_baseline([_record(fast=1.0)], "quick", path=path, git="aaa")
+        payload = perf.write_baseline([_record(fast=0.5, slow=2.0)], "quick",
+                                      path=path, git="bbb")
+        loaded = perf.read_baseline(path)
+        assert loaded == json.loads(json.dumps(payload))
+        assert [e["git"] for e in loaded["history"]] == ["aaa", "bbb"]
+        # Top-level records stay the latest measurement: the regression
+        # baseline the checker reads.
+        assert loaded["records"][0]["fast_wall_s"] == 0.5
+        assert loaded["aggregate"]["speedup"] == 4.0
+
+    def test_pre_history_baseline_contributes_one_synthesized_point(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        with open(path, "w") as handle:
+            json.dump(perf.baseline_payload([_record(fast=2.0, slow=2.0)], "quick"),
+                      handle)
+        loaded = json.loads(
+            json.dumps(perf.write_baseline([_record()], "quick", path=path, git="ccc"))
+        )
+        assert [e["git"] for e in loaded["history"]] == ["(pre-history)", "ccc"]
+        assert loaded["history"][0]["benches"]["bfs"]["fast_wall_s"] == 2.0
+
+    def test_git_describe_never_raises(self, tmp_path):
+        assert perf.git_describe(cwd=str(tmp_path)) == "unknown"
+        assert isinstance(perf.git_describe(cwd=REPO_ROOT), str)
+
+
 class TestRendering:
     def test_table_mentions_every_bench_and_total(self):
         records = [_record(), _record(bench="cc")]

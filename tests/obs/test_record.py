@@ -65,6 +65,21 @@ def test_jsonl_round_trip(tmp_path):
     assert read_jsonl(path) == records
 
 
+def test_unknown_keys_survive_the_round_trip(tmp_path):
+    """Forward compatibility: a newer producer's extra keys pass through."""
+    record = run_record("bfs", "serial", "g1", 10.0)
+    record["added_in_v99"] = {"nested": [1, 2, 3]}
+    path = str(tmp_path / "future.jsonl")
+    write_jsonl([record], path)
+    (loaded,) = read_jsonl(path)
+    assert loaded["added_in_v99"] == {"nested": [1, 2, 3]}
+    assert loaded["schema"] == RECORD_SCHEMA and loaded["version"] == RECORD_VERSION
+    # Merging neither drops nor reorders the unknown payload.
+    (merged,) = merge_records([loaded], [run_record("bfs", "serial", "g1", 99.0)])
+    assert merged["added_in_v99"] == {"nested": [1, 2, 3]}
+    assert merged["cycles"] == 10.0  # first occurrence still wins
+
+
 def test_records_from_suite_carries_summaries_and_speedups(tiny_config):
     adapter = adapter_for("bfs")
     item = GraphInput("tiny", "synthetic", lambda: uniform_random(120, 4, seed=5))

@@ -60,6 +60,35 @@ def test_empty_tracer_is_fine():
     assert "timeline over" in render_timeline(s)
 
 
+def test_single_event_trace():
+    tr = Tracer()
+    tr.register_thread("s0")
+    tr.span("s0", 10.0, 30.0, "work")
+    s = summarize_timeline(tr)
+    assert s["wall"] == 30.0
+    assert s["utilization"]["s0"]["busy"] == 20.0
+    assert s["utilization"]["s0"]["utilization"] == pytest.approx(20.0 / 30.0)
+    assert s["top_stalls"] == []
+    stages = [row["stage"] for row in s["critical"]]
+    assert set(stages) == {None, "s0"}, "idle windows report no bottleneck"
+    assert "s0" in render_timeline(s)
+
+
+def test_single_stall_only_trace():
+    # The horizon is inferred from spans only; a stall-only trace has a
+    # zero wall but still attributes its stall cycles and ranks them.
+    tr = Tracer()
+    tr.register_thread("s0")
+    tr.stall("s0", "mem", 5.0, 9.0)
+    s = summarize_timeline(tr)
+    assert s["wall"] == 0.0
+    assert s["utilization"]["s0"]["busy"] == 0.0
+    assert s["utilization"]["s0"]["utilization"] == 0.0
+    assert s["utilization"]["s0"]["stalls"]["mem"] == 4.0
+    assert s["critical"] == []
+    assert [row["cycles"] for row in s["top_stalls"]] == [4.0]
+
+
 def test_render_mentions_threads_and_buckets():
     text = render_timeline(summarize_timeline(_toy_tracer()))
     assert "s0" in text and "s1" in text

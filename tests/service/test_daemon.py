@@ -157,6 +157,64 @@ def test_server_stats_count_requests(tmp_path):
     assert stats["governor"]["in_flight"] == {}
 
 
+def test_server_stats_expose_telemetry_and_bucket_state(tmp_path):
+    from repro.service import TELEMETRY_SCHEMA
+
+    request = api.CompileRequest(source=KERNEL, fmt="summary")
+    with serving(tmp_path) as client:
+        client.submit(request)
+        client.submit(request)
+        stats = client.server_stats()
+    assert stats["uptime_s"] >= 0
+    telemetry = stats["telemetry"]
+    assert telemetry["schema"] == TELEMETRY_SCHEMA
+    emit = telemetry["verbs"]["emit"]
+    assert emit["requests"] == 2
+    assert emit["outcomes"]["completed"] == 2
+    assert emit["latency"]["count"] == 2
+    assert emit["latency"]["buckets"][-1] == {"le": "+Inf", "count": 2}
+    assert emit["latency"]["sum_s"] > 0
+    # Per-client token-bucket state: two tokens burned, none in flight.
+    bucket = stats["governor"]["buckets"]["test"]
+    assert bucket["in_flight"] == 0
+    assert bucket["level"] <= stats["governor"]["limits"]["burst"]
+
+
+def test_telemetry_counts_failures_and_rejections(tmp_path):
+    good = api.CompileRequest(source=KERNEL, fmt="summary")
+    bad = api.CompileRequest(source="int broken(", fmt="summary")
+    with serving(tmp_path, rate=1e-9, burst=2.0) as client:
+        assert client.submit(good).ok
+        assert not client.submit(bad).ok
+        rejected = client.submit(good)
+        stats = client.server_stats()
+    assert rejected.exit_code == REJECTED_EXIT_CODE
+    emit = stats["telemetry"]["verbs"]["emit"]
+    assert emit["requests"] == 3
+    assert emit["outcomes"] == {"completed": 1, "failed": 1, "rejected": 1}
+    # Rejections never open a latency window; admitted requests do.
+    assert emit["latency"]["count"] == 2
+    assert stats["telemetry"]["rejections"] == {RATE_LIMITED: 1}
+
+
+def test_telemetry_scrape_round_trips_through_parser(tmp_path):
+    from repro.service import parse_prometheus
+
+    request = api.CompileRequest(source=KERNEL, fmt="summary")
+    with serving(tmp_path) as client:
+        client.submit(request)
+        text = client.telemetry()
+    samples = parse_prometheus(text)
+    assert samples[
+        ("repro_requests_total", (("outcome", "completed"), ("verb", "emit")))
+    ] == 1
+    assert samples[("repro_request_latency_seconds_count", (("verb", "emit"),))] == 1
+    assert samples[
+        ("repro_request_latency_seconds_bucket", (("le", "+Inf"), ("verb", "emit")))
+    ] == 1
+    assert samples[("repro_in_flight_requests", ())] == 0
+
+
 @pytest.mark.slow
 def test_cli_serve_submit_round_trip(tmp_path):
     """End to end through ``repro serve`` / ``repro submit`` subprocesses."""

@@ -30,6 +30,14 @@ def test_control_envelope_validates_action():
         protocol.control_envelope("reboot")
 
 
+def test_every_control_action_builds_an_envelope():
+    assert set(protocol.CONTROL_ACTIONS) == {"ping", "stats", "telemetry", "shutdown"}
+    for action in protocol.CONTROL_ACTIONS:
+        wire = protocol.control_envelope(action, client="t")
+        assert protocol.is_control(wire)
+        assert protocol.decode(protocol.encode(wire)) == wire
+
+
 def test_response_message_strips_streamed_records():
     response = Response(verb="metrics", records=[{"a": 1}, {"b": 2}])
     message = protocol.response_message(response.to_wire(), streamed=2)

@@ -62,3 +62,31 @@ def test_release_clears_in_flight_entry():
     governor.admit("c")
     governor.release("c")
     assert governor.snapshot()["in_flight"] == {}
+
+
+def test_bucket_peek_refills_without_consuming():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=4.0, clock=clock)
+    assert bucket.try_acquire() and bucket.try_acquire()
+    assert bucket.peek() == 2.0
+    assert bucket.peek() == 2.0, "peek must not consume"
+    clock.advance(1.5)
+    assert bucket.peek() == 3.5
+    assert bucket.try_acquire()
+
+
+def test_snapshot_exposes_per_client_bucket_state():
+    clock = FakeClock()
+    governor = ClientGovernor(rate=1.0, burst=3.0, quota=4, clock=clock)
+    governor.admit("alice")
+    governor.admit("alice")
+    governor.admit("bob")
+    snapshot = governor.snapshot()
+    assert snapshot["buckets"]["alice"] == {"level": 1.0, "in_flight": 2}
+    assert snapshot["buckets"]["bob"] == {"level": 2.0, "in_flight": 1}
+    governor.release("alice")
+    governor.release("alice")
+    clock.advance(10.0)  # refill is capped at burst
+    snapshot = governor.snapshot()
+    assert snapshot["buckets"]["alice"] == {"level": 3.0, "in_flight": 0}
+    assert sorted(snapshot["buckets"]) == snapshot["clients"]

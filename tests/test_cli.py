@@ -164,6 +164,33 @@ def test_metrics_emits_jsonl_on_stdout(capsys):
     assert all("summary" in r for r in records)
 
 
+def test_report_aggregates_metrics_and_lint(tmp_path, capsys):
+    """metrics + lint into a directory, then ``repro report`` over it."""
+    results = tmp_path / "results"
+    results.mkdir()
+    assert main(["metrics", "bfs", "--size", "300", "--quiet",
+                 "--metrics-out", str(results / "runs.jsonl")]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--bench", "bfs", "--json"]) == 0
+    (results / "lint.json").write_text(capsys.readouterr().out)
+
+    html_out = tmp_path / "report.html"
+    rc = main(["report", str(results), "--baseline", "", "--quiet",
+               "--html-out", str(html_out)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# experiment report")
+    assert "## Per-kernel speedups" in out
+    assert "## Lint status" in out
+    assert "bfs" in out and "phloem-static" in out
+    assert html_out.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_report_missing_directory_exits_2(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "nope"), "--baseline", ""]) == 2
+    assert "not found" in capsys.readouterr().out
+
+
 def test_figures_metrics_out_from_suites(tmp_path, capsys):
     """--metrics-out captures RunRecords for the suites a run computed."""
     from repro.bench import experiments
@@ -285,6 +312,7 @@ class TestApiLayer:
             "trace": ["trace", "prd", "--quiet"],
             "metrics": ["metrics", "radii", "--jobs", "2"],
             "bench-perf": ["bench", "perf", "bfs", "--quick", "--json"],
+            "report": ["report", "/tmp/results", "--html-out", "/tmp/r.html"],
         }
         assert set(argvs) == set(_REQUEST_BUILDERS)
         for verb, argv in argvs.items():
