@@ -1,11 +1,13 @@
 """Simulator perf-regression harness (``repro bench perf``).
 
 Times the *simulator itself* — not the simulated programs — by running the
-five paper kernels under both execution engines: the closure-compiled fast
-path (:mod:`repro.pipette.fastpath`) and the reference interpreter it must
-match bit-for-bit. Each run produces a versioned perf record (wall time,
-simulated cycles per second, per-phase breakdown) and the set rolls up to
-one aggregate speedup, ``sum(slow walls) / sum(fast walls)``.
+five paper kernels under the selected execution engines (``--engine``): the
+reference interpreter (the bit-exactness oracle and speedup denominator),
+the closure-compiled fast path (:mod:`repro.pipette.fastpath`), and the
+batch-advance whole-stage compiler (:mod:`repro.pipette.batchpath`). Each
+run produces a versioned perf record (per-engine wall times, simulated
+cycles per second, per-phase breakdown) and the set rolls up to one
+aggregate speedup per engine, ``sum(reference walls) / sum(engine walls)``.
 
 Records are compared against a committed baseline (``BENCH_pipette.json``
 at the repo root):
@@ -99,7 +101,34 @@ def input_label(spec):
     return "%s(%s)" % (kind, inner)
 
 
-def _timed_run(pipeline, arrays, scalars, fastpath):
+def normalize_engines(spec=None):
+    """Canonicalize an engine selection into an ordered tuple.
+
+    Accepts ``None`` (the legacy pair: reference + fastpath), the string
+    ``"all"``, a single engine name, or an iterable of names. The
+    reference interpreter is always included — it is the bit-exactness
+    oracle and the denominator of every speedup — and the result follows
+    the canonical :data:`~repro.pipette.fastpath.ENGINES` order.
+    """
+    from ..pipette.fastpath import ENGINES
+
+    if spec is None:
+        names = ["reference", "fastpath"]
+    elif isinstance(spec, str):
+        names = list(ENGINES) if spec == "all" else [spec]
+    else:
+        names = list(spec)
+    for name in names:
+        if name not in ENGINES:
+            raise PerfError(
+                "unknown engine %r (choose from %s or 'all')"
+                % (name, ", ".join(ENGINES))
+            )
+    ordered = [e for e in ENGINES if e in names or e == "reference"]
+    return tuple(ordered)
+
+
+def _timed_run(pipeline, arrays, scalars, engine):
     """One timed simulation: fresh input copy, GC quiesced, wall + result."""
     from ..runtime.executor import run_pipeline
 
@@ -109,7 +138,7 @@ def _timed_run(pipeline, arrays, scalars, fastpath):
     gc.disable()
     try:
         start = time.perf_counter()
-        result = run_pipeline(pipeline, fresh, dict(scalars), fastpath=fastpath)
+        result = run_pipeline(pipeline, fresh, dict(scalars), engine=engine)
         wall = time.perf_counter() - start
     finally:
         if was_enabled:
@@ -117,13 +146,27 @@ def _timed_run(pipeline, arrays, scalars, fastpath):
     return result, wall
 
 
-def measure_bench(bench, scale="quick", repeats=2):
-    """Measure one kernel under both engines; returns a perf record dict.
+def primary_engine(engines):
+    """The engine a record's legacy ``fast_wall_s``/``speedup`` refer to:
+    the last non-reference engine in canonical order (batch when measured,
+    else fastpath), or the reference itself in a reference-only run."""
+    return engines[-1]
 
-    Raises :class:`PerfError` when the engines disagree on any
-    :meth:`~repro.pipette.stats.SimStats.summary` field or when repeated
-    runs of one engine disagree on cycles.
+
+def measure_bench(bench, scale="quick", repeats=2, engines=None):
+    """Measure one kernel under ``engines``; returns a perf record dict.
+
+    Every engine's :meth:`~repro.pipette.stats.SimStats.summary` must match
+    the reference interpreter bit-for-bit and every repeat of one engine
+    must report identical cycles; either failure raises :class:`PerfError`.
+
+    The record carries a per-engine ``engines`` map (wall, speedup vs
+    reference, Mcycles/s) plus the legacy flat keys ``slow_wall_s`` /
+    ``fast_wall_s`` / ``speedup``, which refer to the reference and the
+    *primary* engine (see :func:`primary_engine`) so old baselines and
+    report tooling keep working.
     """
+    engines = normalize_engines(engines)
     spec = SCALES[scale][bench]
     phase_start = time.perf_counter()
     data = build_input(spec)
@@ -135,41 +178,46 @@ def measure_bench(bench, scale="quick", repeats=2):
     pipeline = cached_compile(adapter.function(), CompileOptions())
     compile_s = time.perf_counter() - phase_start
 
-    walls = {True: [], False: []}
-    results = {True: None, False: None}
+    walls = {name: [] for name in engines}
+    results = {name: None for name in engines}
     for _ in range(max(1, repeats)):
         # Alternate engines within each repeat so slow drift (thermal,
-        # neighbours) hits both sides of the ratio evenly.
-        for fastpath in (False, True):
-            result, wall = _timed_run(pipeline, arrays, scalars, fastpath)
-            walls[fastpath].append(wall)
-            previous = results[fastpath]
+        # neighbours) hits every side of the ratios evenly.
+        for name in engines:
+            result, wall = _timed_run(pipeline, arrays, scalars, name)
+            walls[name].append(wall)
+            previous = results[name]
             if previous is not None and previous.cycles != result.cycles:
                 raise PerfError(
                     "%s: %s engine is nondeterministic (cycles %r then %r)"
-                    % (
-                        bench,
-                        "fast" if fastpath else "reference",
-                        previous.cycles,
-                        result.cycles,
-                    )
+                    % (bench, name, previous.cycles, result.cycles)
                 )
-            results[fastpath] = result
+            results[name] = result
 
-    slow, fast = results[False], results[True]
-    if slow.stats.summary() != fast.stats.summary() or slow.cycles != fast.cycles:
-        raise PerfError(
-            "%s: fast path diverged from the reference interpreter "
-            "(run both under tests/pipette/test_fastpath_conformance.py "
-            "to localize)" % bench
-        )
+    oracle = results["reference"]
+    for name in engines:
+        result = results[name]
+        if result.stats.summary() != oracle.stats.summary() or result.cycles != oracle.cycles:
+            raise PerfError(
+                "%s: %s engine diverged from the reference interpreter "
+                "(run both under tests/pipette/test_fastpath_conformance.py "
+                "to localize)" % (bench, name)
+            )
 
     # Rounded before deriving ratios, so the record is internally
     # consistent: recomputing speedup from the stored walls reproduces the
     # stored speedup.
-    slow_wall = round(min(walls[False]), 4)
-    fast_wall = round(min(walls[True]), 4)
-    cycles = fast.cycles
+    cycles = oracle.cycles
+    slow_wall = round(min(walls["reference"]), 4)
+    per_engine = {}
+    for name in engines:
+        wall = round(min(walls[name]), 4)
+        per_engine[name] = {
+            "wall_s": wall,
+            "speedup": round(slow_wall / wall, 3) if wall else 0.0,
+            "sim_mcycles_per_s": round(cycles / wall / 1e6, 3) if wall else 0.0,
+        }
+    primary = per_engine[primary_engine(engines)]
     return {
         "schema": PERF_SCHEMA,
         "version": PERF_VERSION,
@@ -178,31 +226,67 @@ def measure_bench(bench, scale="quick", repeats=2):
         "input": input_label(spec),
         "repeats": max(1, repeats),
         "cycles": cycles,
-        "slow_wall_s": round(slow_wall, 4),
-        "fast_wall_s": round(fast_wall, 4),
-        "speedup": round(slow_wall / fast_wall, 3),
-        "sim_mcycles_per_s": round(cycles / fast_wall / 1e6, 3),
+        "engines": per_engine,
+        "slow_wall_s": slow_wall,
+        "fast_wall_s": primary["wall_s"],
+        "speedup": primary["speedup"],
+        "sim_mcycles_per_s": primary["sim_mcycles_per_s"],
         "phases": {
             "input_s": round(input_s, 4),
             "compile_s": round(compile_s, 4),
-            "sim_slow_s": round(slow_wall, 4),
-            "sim_fast_s": round(fast_wall, 4),
+            "sim_slow_s": slow_wall,
+            "sim_fast_s": primary["wall_s"],
         },
     }
 
 
+def record_engines(records):
+    """Engine names measured in *every* record, in canonical order.
+
+    Pre-multi-engine records (no ``engines`` map) contribute the legacy
+    reference + fastpath pair, so aggregation over mixed lists stays sound.
+    """
+    from ..pipette.fastpath import ENGINES
+
+    common = None
+    for r in records:
+        names = set(r.get("engines") or ("reference", "fastpath"))
+        common = names if common is None else common & names
+    return [e for e in ENGINES if e in (common or ())]
+
+
+def _engine_wall(record, name):
+    per = record.get("engines")
+    if per is not None:
+        return per[name]["wall_s"]
+    return record["slow_wall_s"] if name == "reference" else record["fast_wall_s"]
+
+
 def aggregate(records):
-    """Roll records up to the headline ratio: total slow wall / total fast."""
+    """Roll records up to the headline ratios: total reference wall over
+    each engine's total wall, plus the legacy slow/fast pair (the fast side
+    is the last — most advanced — engine measured in every record)."""
+    engines = record_engines(records)
     slow = sum(r["slow_wall_s"] for r in records)
+    per_engine = {}
+    for name in engines:
+        wall = sum(_engine_wall(r, name) for r in records)
+        per_engine[name] = {
+            "wall_s": round(wall, 4),
+            "speedup": round(slow / wall, 3) if wall else 0.0,
+        }
     fast = sum(r["fast_wall_s"] for r in records)
-    return {
+    agg = {
         "slow_wall_s": round(slow, 4),
         "fast_wall_s": round(fast, 4),
         "speedup": round(slow / fast, 3) if fast else 0.0,
     }
+    if per_engine:
+        agg["engines"] = per_engine
+    return agg
 
 
-def run_perf(benches=None, scale="quick", repeats=2, jobs=1):
+def run_perf(benches=None, scale="quick", repeats=2, jobs=1, engines=None):
     """Measure ``benches`` (default: all five); returns the record list.
 
     ``jobs > 1`` fans kernels out over the :mod:`repro.bench.parallel`
@@ -210,17 +294,18 @@ def run_perf(benches=None, scale="quick", repeats=2, jobs=1):
     pin down); wall times measured under contention are only comparable to
     other contended runs, so baselines should be recorded with ``jobs=1``.
     """
+    engines = normalize_engines(engines)
     if benches is None:
         benches = sorted(SCALES[scale])
     if jobs > 1:
         from .parallel import Job, run_jobs
 
         job_list = [
-            Job(("perf", scale, bench), measure_bench, bench, scale, repeats)
+            Job(("perf", scale, bench), measure_bench, bench, scale, repeats, engines)
             for bench in benches
         ]
         return [res.value for res in run_jobs(job_list, workers=jobs)]
-    return [measure_bench(bench, scale, repeats) for bench in benches]
+    return [measure_bench(bench, scale, repeats, engines) for bench in benches]
 
 
 def baseline_payload(records, scale):
@@ -233,41 +318,84 @@ def baseline_payload(records, scale):
     }
 
 
-def git_describe(cwd=None):
-    """The working tree's ``git describe`` identity, or ``"unknown"``.
-
-    Keys history entries: two updates from the same commit replace each
-    other instead of piling up.
-    """
+def _git_token(argv, cwd=None):
+    """Run one git query; returns its stdout iff it looks like a clean
+    single-token identity (no whitespace inside, no ``fatal:``/``error:``
+    text that some git builds emit on stdout), else None."""
     try:
         out = subprocess.run(
-            ["git", "describe", "--always", "--dirty", "--tags"],
-            capture_output=True, text=True, timeout=10, cwd=cwd,
+            argv, capture_output=True, text=True, timeout=10, cwd=cwd,
         )
     except (OSError, subprocess.SubprocessError):
-        return "unknown"
+        return None
+    if out.returncode != 0:
+        return None
     text = out.stdout.strip()
-    return text if out.returncode == 0 and text else "unknown"
+    if not text or len(text) > 128 or len(text.split()) != 1:
+        return None
+    if text.startswith("fatal") or text.startswith("error"):
+        return None
+    return text
+
+
+def git_describe(cwd=None):
+    """The working tree's git identity, or ``"unknown"``.
+
+    Keys history entries: two updates from the same commit replace each
+    other instead of piling up. ``git describe`` fails in more environments
+    than it succeeds — shallow CI clones without tags, exported tarballs,
+    detached worktrees — so its output is validated as a single clean token
+    and the query falls back to the bare short hash before giving up;
+    history keys must never embed a multi-line git error message.
+    """
+    token = _git_token(
+        ["git", "describe", "--always", "--dirty", "--tags"], cwd=cwd
+    )
+    if token is None:
+        token = _git_token(["git", "rev-parse", "--short", "HEAD"], cwd=cwd)
+    return token if token is not None else "unknown"
 
 
 def history_entry(records, scale, git=None, engine="fastpath"):
-    """One compact trajectory point for the baseline's ``history`` list."""
+    """One compact per-engine trajectory point for the baseline history.
+
+    ``engine`` selects which engine's walls the entry tracks; records
+    without a measurement for it (legacy records, partial runs) fall back
+    to their legacy fast-side keys when ``engine`` is the primary one.
+    """
+    agg = aggregate(records)
+    per_agg = (agg.get("engines") or {}).get(engine)
+    if per_agg is not None:
+        agg = {
+            "slow_wall_s": agg["slow_wall_s"],
+            "fast_wall_s": per_agg["wall_s"],
+            "speedup": per_agg["speedup"],
+        }
+    else:
+        agg = {k: agg[k] for k in ("slow_wall_s", "fast_wall_s", "speedup")}
+    benches = {}
+    for r in records:
+        per = (r.get("engines") or {}).get(engine)
+        if per is None:
+            per = {
+                "wall_s": r["fast_wall_s"],
+                "speedup": r["speedup"],
+                "sim_mcycles_per_s": r["sim_mcycles_per_s"],
+            }
+        benches[r["bench"]] = {
+            "cycles": r["cycles"],
+            "fast_wall_s": per["wall_s"],
+            "slow_wall_s": r["slow_wall_s"],
+            "speedup": per["speedup"],
+            "sim_mcycles_per_s": per["sim_mcycles_per_s"],
+        }
     return {
         "git": git_describe() if git is None else git,
         "engine": engine,
         "scale": scale,
         "recorded": time.strftime("%Y-%m-%d", time.gmtime()),
-        "aggregate": aggregate(records),
-        "benches": {
-            r["bench"]: {
-                "cycles": r["cycles"],
-                "fast_wall_s": r["fast_wall_s"],
-                "slow_wall_s": r["slow_wall_s"],
-                "speedup": r["speedup"],
-                "sim_mcycles_per_s": r["sim_mcycles_per_s"],
-            }
-            for r in records
-        },
+        "aggregate": agg,
+        "benches": benches,
     }
 
 
@@ -313,7 +441,15 @@ def write_baseline(records, scale, path=BASELINE_FILE, git=None):
                     )
                 ]
     payload = baseline_payload(records, scale)
-    payload["history"] = append_history(history, history_entry(records, scale, git=git))
+    git_key = git_describe() if git is None else git
+    tracked = [e for e in record_engines(records) if e != "reference"] or ["fastpath"]
+    for engine in tracked:
+        # One trajectory point per measured engine: the baseline grows a
+        # multi-engine history the report can chart side by side.
+        history = append_history(
+            history, history_entry(records, scale, git=git_key, engine=engine)
+        )
+    payload["history"] = history
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -363,59 +499,107 @@ def check_against_baseline(records, baseline, threshold=DEFAULT_THRESHOLD):
                 "--update-baseline"
                 % (record["bench"], base["cycles"], record["cycles"])
             )
-        limit = base["fast_wall_s"] * (1.0 + threshold)
-        if record["fast_wall_s"] > limit:
-            warnings.append(
-                "%s: fast-path wall %.3fs exceeds baseline %.3fs by more "
-                "than %d%%"
-                % (
-                    record["bench"],
-                    record["fast_wall_s"],
-                    base["fast_wall_s"],
-                    round(threshold * 100),
+        base_engines = base.get("engines") or {}
+        rec_engines = record.get("engines") or {}
+        overlap = [
+            name
+            for name in rec_engines
+            if name != "reference" and name in base_engines
+        ]
+        if overlap:
+            # Multi-engine records: compare each engine the baseline also
+            # measured, by name.
+            pairs = [
+                (
+                    "%s (%s)" % (record["bench"], name),
+                    {
+                        "fast_wall_s": base_engines[name]["wall_s"],
+                        "speedup": base_engines[name]["speedup"],
+                    },
+                    {
+                        "fast_wall_s": rec_engines[name]["wall_s"],
+                        "speedup": rec_engines[name]["speedup"],
+                    },
                 )
-            )
-        if record["speedup"] < base["speedup"] * (1.0 - threshold):
-            warnings.append(
-                "%s: speedup %.2fx fell more than %d%% below baseline %.2fx"
-                % (
-                    record["bench"],
-                    record["speedup"],
-                    round(threshold * 100),
-                    base["speedup"],
+                for name in overlap
+            ]
+        else:
+            pairs = [(record["bench"], base, record)]
+        for label, base_side, rec_side in pairs:
+            limit = base_side["fast_wall_s"] * (1.0 + threshold)
+            if rec_side["fast_wall_s"] > limit:
+                warnings.append(
+                    "%s: engine wall %.3fs exceeds baseline %.3fs by more "
+                    "than %d%%"
+                    % (
+                        label,
+                        rec_side["fast_wall_s"],
+                        base_side["fast_wall_s"],
+                        round(threshold * 100),
+                    )
                 )
-            )
+            if rec_side["speedup"] < base_side["speedup"] * (1.0 - threshold):
+                warnings.append(
+                    "%s: speedup %.2fx fell more than %d%% below baseline %.2fx"
+                    % (
+                        label,
+                        rec_side["speedup"],
+                        round(threshold * 100),
+                        base_side["speedup"],
+                    )
+                )
     return errors, warnings
 
 
+#: Column labels for the perf table, per engine.
+_TABLE_LABELS = {"reference": "ref", "fastpath": "fast", "batch": "batch"}
+
+
 def render_table(records, agg):
-    """Human-readable summary table (stdout payload of ``bench perf``)."""
+    """Human-readable summary table (stdout payload of ``bench perf``).
+
+    Columns adapt to the engine set: one wall column per engine plus one
+    speedup-vs-reference column per non-reference engine.
+    """
+    engines = record_engines(records) or ["reference", "fastpath"]
+    ratio_engines = [e for e in engines if e != "reference"]
     lines = []
-    header = "%-7s %-6s %12s %9s %9s %8s %10s" % (
-        "bench", "scale", "cycles", "slow(s)", "fast(s)", "speedup", "Mcyc/s",
+    header = "%-7s %-6s %12s" % ("bench", "scale", "cycles")
+    header += "".join(
+        " %9s" % ("%s(s)" % _TABLE_LABELS.get(e, e[:5])) for e in engines
     )
+    header += "".join(
+        " %8s" % ("%s(x)" % _TABLE_LABELS.get(e, e[:5])) for e in ratio_engines
+    )
+    header += " %10s" % "Mcyc/s"
     lines.append(header)
     lines.append("-" * len(header))
+
+    def ratio(record, name):
+        per = record.get("engines")
+        if per is not None:
+            return per[name]["speedup"]
+        return record["speedup"]
+
     for r in records:
-        lines.append(
-            "%-7s %-6s %12.0f %9.3f %9.3f %7.2fx %10.2f"
-            % (
-                r["bench"],
-                r["scale"],
-                r["cycles"],
-                r["slow_wall_s"],
-                r["fast_wall_s"],
-                r["speedup"],
-                r["sim_mcycles_per_s"],
-            )
-        )
+        row = "%-7s %-6s %12.0f" % (r["bench"], r["scale"], r["cycles"])
+        row += "".join(" %9.3f" % _engine_wall(r, e) for e in engines)
+        row += "".join(" %7.2fx" % ratio(r, e) for e in ratio_engines)
+        row += " %10.2f" % r["sim_mcycles_per_s"]
+        lines.append(row)
     lines.append("-" * len(header))
-    lines.append(
-        "%-7s %-6s %12s %9.3f %9.3f %7.2fx"
-        % (
-            "total", "", "", agg["slow_wall_s"], agg["fast_wall_s"], agg["speedup"],
+    agg_engines = agg.get("engines") or {}
+    total = "%-7s %-6s %12s" % ("total", "", "")
+    for e in engines:
+        per = agg_engines.get(e)
+        wall = per["wall_s"] if per else (
+            agg["slow_wall_s"] if e == "reference" else agg["fast_wall_s"]
         )
-    )
+        total += " %9.3f" % wall
+    for e in ratio_engines:
+        per = agg_engines.get(e)
+        total += " %7.2fx" % (per["speedup"] if per else agg["speedup"])
+    lines.append(total)
     return "\n".join(lines)
 
 
@@ -425,21 +609,22 @@ def obs_records(records):
 
     out = []
     for r in records:
-        for variant, wall in (
-            ("engine-reference", r["slow_wall_s"]),
-            ("engine-fastpath", r["fast_wall_s"]),
-        ):
+        per = r.get("engines") or {
+            "reference": {"wall_s": r["slow_wall_s"], "speedup": 1.0},
+            "fastpath": {"wall_s": r["fast_wall_s"], "speedup": r["speedup"]},
+        }
+        for name in record_engines([r]) or sorted(per):
             out.append(
                 run_record(
                     r["bench"],
-                    variant,
+                    "engine-%s" % name,
                     r["input"],
                     r["cycles"],
                     ok=True,
                     extra={
-                        "wall_s": wall,
+                        "wall_s": per[name]["wall_s"],
                         "perf_scale": r["scale"],
-                        "perf_speedup": r["speedup"],
+                        "perf_speedup": per[name]["speedup"],
                     },
                 )
             )
@@ -462,10 +647,15 @@ def run_cli(args):
         if getattr(args, "quick", False):
             scale = "quick"
     benches = list(args.benches) or None
+    engines = getattr(args, "engine", None) or None
     started = time.perf_counter()
     try:
         records = run_perf(
-            benches=benches, scale=scale, repeats=args.repeats, jobs=args.jobs or 1
+            benches=benches,
+            scale=scale,
+            repeats=args.repeats,
+            jobs=args.jobs or 1,
+            engines=engines,
         )
     except PerfError as exc:
         print("perf: ERROR: %s" % exc)
@@ -480,8 +670,9 @@ def run_cli(args):
     if args.metrics_out:
         from ..obs.record import write_jsonl
 
-        write_jsonl(obs_records(records), args.metrics_out)
-        log("perf: %d RunRecords -> %s", 2 * len(records), args.metrics_out)
+        out = obs_records(records)
+        write_jsonl(out, args.metrics_out)
+        log("perf: %d RunRecords -> %s", len(out), args.metrics_out)
 
     status = 0
     if args.update_baseline:

@@ -135,6 +135,7 @@ def _req_bench_perf(args):
     return api.BenchPerfRequest(
         benches=tuple(args.benches),
         scale=scale,
+        engine=args.engine,
         repeats=args.repeats,
         jobs=args.jobs,
         baseline=args.baseline,
@@ -485,7 +486,7 @@ def build_parser():
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
     perf = bench_sub.add_parser(
         "perf",
-        help="time the simulator itself: fast path vs reference interpreter",
+        help="time the simulator itself: each engine vs the reference interpreter",
     )
     perf.add_argument(
         "benches", nargs="*", metavar="BENCH",
@@ -498,6 +499,12 @@ def build_parser():
     perf.add_argument(
         "--full", action="store_true",
         help="larger inputs for patient local measurement",
+    )
+    perf.add_argument(
+        "--engine", default=None,
+        choices=("reference", "fastpath", "batch", "all"),
+        help="engine(s) to time against the reference interpreter "
+        "(default: fastpath; 'all' measures every engine)",
     )
     perf.add_argument(
         "--repeats", type=int, default=2,
@@ -532,7 +539,7 @@ def build_parser():
     perf.add_argument("--json", action="store_true", help="JSON instead of the table")
     perf.add_argument(
         "--metrics-out", default=None, metavar="FILE.jsonl",
-        help="also write repro.obs RunRecords for both engines",
+        help="also write repro.obs RunRecords for each measured engine",
     )
     perf.add_argument("--quiet", action="store_true", help="silence stderr telemetry")
     perf.set_defaults(func=_cmd_bench_perf, verb="bench-perf")

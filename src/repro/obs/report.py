@@ -357,10 +357,27 @@ def _stall_rows(report):
     return ["kernel", "variant"] + ["%s" % b for b in BREAKDOWN_BUCKETS], rows
 
 
+# Canonical engine ordering and short column labels (mirrors
+# repro.pipette.fastpath.ENGINES without importing the simulator here).
+_ENGINE_ORDER = ("reference", "fastpath", "batch")
+_ENGINE_LABELS = {"reference": "ref", "fastpath": "fast", "batch": "batch"}
+
+
+def _engine_sorted(names):
+    order = {name: i for i, name in enumerate(_ENGINE_ORDER)}
+    return sorted(names, key=lambda n: (order.get(n, len(_ENGINE_ORDER)), n))
+
+
 def _perf_rows(payload):
-    rows = []
-    for r in payload.get("records", []):
-        rows.append(
+    records = payload.get("records", [])
+    names = []
+    for r in records:
+        for name in r.get("engines") or ():
+            if name not in names:
+                names.append(name)
+    if not names:
+        # Legacy two-engine records: the original fixed columns.
+        rows = [
             [
                 r.get("bench"),
                 _fmt_num(float(r.get("cycles", 0)), 0),
@@ -369,8 +386,49 @@ def _perf_rows(payload):
                 "%sx" % _fmt_num(r.get("speedup")),
                 _fmt_num(r.get("sim_mcycles_per_s")),
             ]
+            for r in records
+        ]
+        return ["bench", "cycles", "slow (s)", "fast (s)", "speedup", "Mcyc/s"], rows
+
+    names = _engine_sorted(names)
+    header = ["bench", "cycles"]
+    header += ["%s (s)" % _ENGINE_LABELS.get(n, n) for n in names]
+    header += ["%s (x)" % _ENGINE_LABELS.get(n, n) for n in names if n != "reference"]
+    header.append("Mcyc/s")
+    rows = []
+    for r in records:
+        engines = r.get("engines") or {
+            "reference": {"wall_s": r.get("slow_wall_s"), "speedup": 1.0},
+            "fastpath": {"wall_s": r.get("fast_wall_s"), "speedup": r.get("speedup")},
+        }
+        row = [r.get("bench"), _fmt_num(float(r.get("cycles", 0)), 0)]
+        row += [_fmt_num((engines.get(n) or {}).get("wall_s"), 3) for n in names]
+        row += [
+            "%sx" % _fmt_num((engines.get(n) or {}).get("speedup"))
+            for n in names
+            if n != "reference"
+        ]
+        row.append(_fmt_num(r.get("sim_mcycles_per_s")))
+        rows.append(row)
+    return header, rows
+
+
+def _perf_aggregate_text(agg):
+    """The parenthetical after the headline aggregate speedup."""
+    engines = agg.get("engines")
+    if not engines:
+        return "slow %ss / fast %ss" % (
+            _fmt_num(agg.get("slow_wall_s"), 3),
+            _fmt_num(agg.get("fast_wall_s"), 3),
         )
-    return ["bench", "cycles", "slow (s)", "fast (s)", "speedup", "Mcyc/s"], rows
+    bits = []
+    for name in _engine_sorted(engines):
+        row = engines[name] or {}
+        bit = "%s %ss" % (_ENGINE_LABELS.get(name, name), _fmt_num(row.get("wall_s"), 3))
+        if name != "reference":
+            bit += " %sx" % _fmt_num(row.get("speedup"))
+        bits.append(bit)
+    return "; ".join(bits)
 
 
 def _trajectory_rows(report):
@@ -380,42 +438,64 @@ def _trajectory_rows(report):
         rows.append(
             [
                 str(entry.get("git", "?")),
+                str(entry.get("engine", "fastpath")),
                 str(entry.get("scale", "?")),
                 "%sx" % _fmt_num(agg.get("speedup")),
                 _fmt_num(agg.get("fast_wall_s"), 3),
                 str(entry.get("recorded", "")),
             ]
         )
-    return ["git", "scale", "aggregate speedup", "fast wall (s)", "recorded"], rows
+    return (
+        ["git", "engine", "scale", "aggregate speedup", "wall (s)", "recorded"],
+        rows,
+    )
 
 
 def _trajectory_sparks(report):
-    """``[(label, sparkline, latest)]`` series across the history."""
-    entries = report.trajectory
-    if len(entries) < 2:
-        return []
-    series = [
-        (
-            "aggregate speedup",
-            [e.get("aggregate", {}).get("speedup") or 0.0 for e in entries],
-        )
-    ]
-    benches = sorted(
-        {b for e in entries for b in (e.get("benches") or {})}
-    )
-    for bench in benches:
-        values = [
-            ((e.get("benches") or {}).get(bench) or {}).get("sim_mcycles_per_s")
-            for e in entries
-        ]
-        if sum(1 for v in values if v is not None) >= 2:
-            series.append(
-                ("%s Mcyc/s" % bench, [v if v is not None else 0.0 for v in values])
+    """``[(label, sparkline, latest)]`` series across the history.
+
+    History points are grouped per engine: one baseline update can append a
+    point per measured engine, so a flat walk would interleave fastpath and
+    batch speedups in a single series. Labels carry the engine only when
+    more than one appears; engines with a single point are left to the
+    trajectory table.
+    """
+    groups = {}
+    for entry in report.trajectory:
+        groups.setdefault(entry.get("engine", "fastpath"), []).append(entry)
+    multi = len(groups) > 1
+    out = []
+    for engine in _engine_sorted(groups):
+        entries = groups[engine]
+        if len(entries) < 2:
+            continue
+        suffix = " [%s]" % engine if multi else ""
+        series = [
+            (
+                "aggregate speedup" + suffix,
+                [e.get("aggregate", {}).get("speedup") or 0.0 for e in entries],
             )
-    return [
-        (label, spark(values), _fmt_num(values[-1]))
-        for label, values in series
-    ]
+        ]
+        benches = sorted(
+            {b for e in entries for b in (e.get("benches") or {})}
+        )
+        for bench in benches:
+            values = [
+                ((e.get("benches") or {}).get(bench) or {}).get("sim_mcycles_per_s")
+                for e in entries
+            ]
+            if sum(1 for v in values if v is not None) >= 2:
+                series.append(
+                    (
+                        "%s Mcyc/s%s" % (bench, suffix),
+                        [v if v is not None else 0.0 for v in values],
+                    )
+                )
+        out += [
+            (label, spark(values), _fmt_num(values[-1]))
+            for label, values in series
+        ]
+    return out
 
 
 def _telemetry_rows(snapshot):
@@ -554,12 +634,8 @@ def render_markdown(report):
         agg = payload.get("aggregate", {})
         out.append("")
         out.append(
-            "Aggregate: **%sx** (slow %ss / fast %ss)."
-            % (
-                _fmt_num(agg.get("speedup")),
-                _fmt_num(agg.get("slow_wall_s"), 3),
-                _fmt_num(agg.get("fast_wall_s"), 3),
-            )
+            "Aggregate: **%sx** (%s)."
+            % (_fmt_num(agg.get("speedup")), _perf_aggregate_text(agg))
         )
 
     sparks = _trajectory_sparks(report)
@@ -684,12 +760,8 @@ def render_html(report):
         parts.append(_html_table(*_perf_rows(payload)))
         agg = payload.get("aggregate", {})
         parts.append(
-            "<p>Aggregate <strong>%sx</strong> (slow %ss / fast %ss).</p>"
-            % (
-                esc(_fmt_num(agg.get("speedup"))),
-                esc(_fmt_num(agg.get("slow_wall_s"), 3)),
-                esc(_fmt_num(agg.get("fast_wall_s"), 3)),
-            )
+            "<p>Aggregate <strong>%sx</strong> (%s).</p>"
+            % (esc(_fmt_num(agg.get("speedup"))), esc(_perf_aggregate_text(agg)))
         )
 
     sparks = _trajectory_sparks(report)

@@ -174,6 +174,46 @@ def resolve_fastpath(pipeline, override=None):
     return bool(pipeline.meta.get("fastpath", True))
 
 
+#: The three execution engines, slowest (oracle) first.
+ENGINES = ("reference", "fastpath", "batch")
+
+#: Environment default for runs that pass no explicit engine. Deliberately
+#: *below* explicit arguments in priority (unlike ``REPRO_SLOWPATH``, which
+#: is a kill-switch that beats everything): CI sets REPRO_ENGINE per matrix
+#: leg, and the differential tests inside a leg must still be able to pin
+#: each engine explicitly without the environment leaking into the oracle
+#: side of the comparison.
+ENGINE_ENV = "REPRO_ENGINE"
+
+
+def resolve_engine(pipeline, engine=None, fastpath=None):
+    """Pick one of :data:`ENGINES` for ``pipeline``.
+
+    Priority: ``REPRO_SLOWPATH`` (global oracle kill-switch) > explicit
+    ``engine`` > explicit legacy ``fastpath`` boolean > ``REPRO_ENGINE`` >
+    compiled-in ``meta["engine"]`` > ``meta["fastpath"]`` (default: the
+    fast path).
+    """
+    if os.environ.get(SLOWPATH_ENV):
+        return "reference"
+    candidates = (
+        engine,
+        None if fastpath is None else ("fastpath" if fastpath else "reference"),
+        os.environ.get(ENGINE_ENV) or None,
+        pipeline.meta.get("engine"),
+        None if pipeline.meta.get("fastpath", True) else "reference",
+    )
+    for choice in candidates:
+        if choice is None:
+            continue
+        if choice not in ENGINES:
+            raise ValueError(
+                "unknown engine %r (expected one of %s)" % (choice, ", ".join(ENGINES))
+            )
+        return choice
+    return "fastpath"
+
+
 def _is_reg(operand):
     return type(operand) is str and not operand.startswith("@")
 

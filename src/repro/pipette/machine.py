@@ -10,7 +10,8 @@ full statistics the evaluation figures need.
 
 from ..errors import ResourceError, SimulationError
 from ..ir.verifier import verify_pipeline
-from .fastpath import FastStageInterp, resolve_fastpath
+from .batchpath import BatchStageInterp
+from .fastpath import FastStageInterp, resolve_engine
 from .interp import ArrayBinding, StageInterp, ThreadCtx
 from .mem import AddressMap, MemorySystem
 from .queues import HWQueue
@@ -143,19 +144,28 @@ class Machine:
     occupancy samples, and RA loads. With the default ``None`` no event
     buffer exists and the simulation is unchanged.
 
-    ``fastpath`` selects the stage execution engine: ``None`` defers to
-    ``REPRO_SLOWPATH`` / each pipeline's ``meta["fastpath"]``; ``True`` /
-    ``False`` force the closure-compiled fast path or the reference
-    interpreter (both produce bit-identical :class:`SimStats`).
+    ``engine`` selects the stage execution engine by name (``"reference"``,
+    ``"fastpath"``, ``"batch"``); ``fastpath`` is the legacy boolean spelling
+    of the first two. ``None`` defers to ``REPRO_SLOWPATH`` / ``REPRO_ENGINE``
+    / each pipeline's ``meta`` (see
+    :func:`~repro.pipette.fastpath.resolve_engine`). All engines produce
+    bit-identical :class:`SimStats`.
     """
 
-    def __init__(self, config, tracer=None, fastpath=None):
+    _ENGINE_CLASSES = {
+        "reference": StageInterp,
+        "fastpath": FastStageInterp,
+        "batch": BatchStageInterp,
+    }
+
+    def __init__(self, config, tracer=None, fastpath=None, engine=None):
         self.config = config
         self.stats = None
         self.mem = None
         self.envs = []
         self.tracer = tracer
         self.fastpath = fastpath
+        self.engine = engine
 
     def run(self, specs, barrier_cost=30.0):
         """Run the given :class:`RunSpec` list to completion.
@@ -191,11 +201,9 @@ class Machine:
         for replica, spec in enumerate(specs):
             pipeline = spec.pipeline
             verify_pipeline(pipeline, max_queues=config.max_queues, max_ras=config.max_ras)
-            engine = (
-                FastStageInterp
-                if resolve_fastpath(pipeline, self.fastpath)
-                else StageInterp
-            )
+            engine = self._ENGINE_CLASSES[
+                resolve_engine(pipeline, self.engine, self.fastpath)
+            ]
             env = RunEnv(self, replica, spec, stats)
             env.shared = shared_cells
             self.envs.append(env)

@@ -135,6 +135,20 @@ class MemorySystem:
         queue_delay = max(0.0, float(window << self.window_shift) - now)
         return queue_delay + self.config.dram_latency
 
+    def next_dram_window_cycle(self, line, now):
+        """Event-horizon contract: the cycle at which the controller owning
+        ``line`` next has spare bandwidth for a request presented at
+        ``now``, without consuming any. ``_dram``'s queue delay is exactly
+        ``this - now``: the closed form by which a bandwidth-saturated
+        access skips ahead to the first open 64-cycle window."""
+        ctrl = line % len(self.windows)
+        table = self.windows[ctrl]
+        window = int(now) >> self.window_shift
+        while table.get(window, 0) >= self.window_capacity:
+            window += 1
+        start = float(window << self.window_shift)
+        return start if start > now else now
+
     def access(self, core, addr, now, stream_id=None, is_store=False):
         """Access ``addr`` from ``core`` at cycle ``now``; returns latency.
 
@@ -192,9 +206,19 @@ class MemorySystem:
         method for the miss side.
         """
         cfg = self.config
-        l2 = self.l2[core]
-        if l2.access(line):
+        if self.l2[core].access(line):
             return cfg.l2.latency
+        return self.miss_below_l2(core, line, now)
+
+    def miss_below_l2(self, core, line, now):
+        """L3 -> DRAM walk after an L2 miss; returns the latency.
+
+        Split from :meth:`miss_below_l1` so engines that also inline the L2
+        lookup (batchpath, the RA loop) can share the walk below it. The
+        caller has already updated L2 tag state and counters.
+        """
+        cfg = self.config
+        l2 = self.l2[core]
         if self.l3.access(line):
             l2.fill(line)
             return cfg.l3.latency

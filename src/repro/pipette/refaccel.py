@@ -21,6 +21,16 @@ moves one value per resume in steady state, so paying a fresh sub-generator
 (plus ``yield from`` plumbing) per value tripled the interpreter overhead
 of every offloaded load. Only the *blocked* branches remain loops around
 ``yield BLOCKED``; the logic and timing arithmetic are unchanged.
+
+Hot engine state lives in frame locals while the generator runs: the front
+clock (externally visible through ``task.clock_ref``), the in-order
+delivery watermark, and the shared counters (``ra_loads``, queue
+enq/deq totals, output occupancy high-water). Locals are flushed back
+before **every** ``yield`` — the only points where the scheduler, other
+tasks, or stats collection can observe the engine — so external state is
+reference-identical at every observable instant. Counters flush additively
+(``+=`` deltas / max-merge) because the blocked retry paths go through the
+real queue methods, which update the shared attributes directly.
 """
 
 from collections import deque
@@ -42,6 +52,18 @@ class RAEngine:
         self.inflight = deque()  # completion times of outstanding loads
         self.last_delivery = 0.0
         self.tracer = env.machine.tracer
+
+    def next_event_cycle(self):
+        """Event-horizon contract: the earliest cycle the RA front clock can
+        sit at. The clock is the baseline; with all MSHRs in flight the next
+        accepted request would first wait for the oldest completion — the
+        same closed form the issue loop advances the clock by. Meaningful
+        between resumes (``run`` flushes ``self.clock`` before yielding)."""
+        t = self.clock
+        inflight = self.inflight
+        if len(inflight) >= self.env.machine.config.ra_mshrs and inflight[0] > t:
+            t = inflight[0]
+        return t
 
     def run(self):
         """Main RA loop (a daemon task generator).
@@ -88,9 +110,15 @@ class RAEngine:
         l1_ways = l1.ways
         l1_stats = l1.stats
         l1_lat = mcfg.l1.latency
+        l2 = mem.l2[core]
+        l2_sets = l2.sets
+        l2_scount = l2.sets_count
+        l2_ways = l2.ways
+        l2_stats = l2.stats
+        l2_lat = mcfg.l2.latency
         pf_on = mcfg.prefetch_enabled
         pf_deg = mcfg.prefetch_degree
-        below_l1 = mem.miss_below_l1
+        below_l2 = mem.miss_below_l2
         pf_streams = mem.prefetchers[core].streams
         max_stride = mem.prefetchers[core].MAX_STRIDE
         prefetch_one = mem._prefetch
@@ -104,14 +132,22 @@ class RAEngine:
         out_entries = out_queue.entries
         out_lat = out_queue.latency
         out_tracer = out_queue.tracer
+        # Frame-local engine state + shared-counter deltas (see module
+        # docstring); flushed before every yield.
+        clock = self.clock
+        last_del = self.last_delivery
+        ral = 0  # stats.ra_loads delta
+        ind = 0  # in_queue.total_deqs delta
+        oute = 0  # out_queue.total_enqs delta
+        out_mo = out_queue.max_occupancy
 
         while True:
             # deq one input value (blocking); try_deq inlined
             if in_entries:
                 value, avail = in_entries.popleft()
-                t = avail if avail > self.clock else self.clock
+                t = avail if avail > clock else clock
                 in_slot_free.append(t)
-                in_queue.total_deqs += 1
+                ind += 1
                 if in_tracer is not None:
                     in_tracer.counter(in_queue.label, t, len(in_entries))
                 if in_queue.waiting_producers:
@@ -121,40 +157,72 @@ class RAEngine:
                         waiter.wake()
             else:
                 in_queue.empty_blocks += 1
+                self.clock = clock
+                self.last_delivery = last_del
+                stats.ra_loads += ral
+                ral = 0
+                in_queue.total_deqs += ind
+                ind = 0
+                out_queue.total_enqs += oute
+                oute = 0
+                if out_mo > out_queue.max_occupancy:
+                    out_queue.max_occupancy = out_mo
                 res = None
                 while res is None:
                     task.block(deq_block)
                     in_queue.waiting_consumers.append(task)
                     yield BLOCKED
-                    res = try_deq(self.clock)
+                    res = try_deq(clock)
                 value, t = res
-            if t > self.clock:
-                self.clock = t
+            if t > clock:
+                clock = t
 
             if type(value) is Ctrl:
                 if spec.forward_ctrl:
                     # forward the marker downstream (blocking enq)
-                    t = try_enq(self.clock, value)
-                    while t is None:
-                        task.block(enq_block)
-                        out_queue.waiting_producers.append(task)
-                        yield BLOCKED
-                        t = try_enq(self.clock, value)
-                    if t > self.clock:
-                        self.clock = t
+                    t = try_enq(clock, value)
+                    if t is None:
+                        self.clock = clock
+                        self.last_delivery = last_del
+                        stats.ra_loads += ral
+                        ral = 0
+                        in_queue.total_deqs += ind
+                        ind = 0
+                        out_queue.total_enqs += oute
+                        oute = 0
+                        if out_mo > out_queue.max_occupancy:
+                            out_queue.max_occupancy = out_mo
+                        while t is None:
+                            task.block(enq_block)
+                            out_queue.waiting_producers.append(task)
+                            yield BLOCKED
+                            t = try_enq(clock, value)
+                    if t > clock:
+                        clock = t
                 continue
 
             if scan:
                 # second half of the (start, end) pair
-                res = try_deq(self.clock)
-                while res is None:
-                    task.block(deq_block)
-                    in_queue.waiting_consumers.append(task)
-                    yield BLOCKED
-                    res = try_deq(self.clock)
+                res = try_deq(clock)
+                if res is None:
+                    self.clock = clock
+                    self.last_delivery = last_del
+                    stats.ra_loads += ral
+                    ral = 0
+                    in_queue.total_deqs += ind
+                    ind = 0
+                    out_queue.total_enqs += oute
+                    oute = 0
+                    if out_mo > out_queue.max_occupancy:
+                        out_queue.max_occupancy = out_mo
+                    while res is None:
+                        task.block(deq_block)
+                        in_queue.waiting_consumers.append(task)
+                        yield BLOCKED
+                        res = try_deq(clock)
                 end, t = res
-                if t > self.clock:
-                    self.clock = t
+                if t > clock:
+                    clock = t
                 if is_control(end):
                     raise SimulationError(
                         "RA %d (scan): control value arrived mid-pair" % spec.raid
@@ -167,9 +235,9 @@ class RAEngine:
                 # issue one load: MSHR throttle, L1 lookup, in-order delivery
                 if len(inflight) >= mshr_cap:
                     oldest = inflight.popleft()
-                    if oldest > self.clock:
-                        self.clock = oldest
-                start = self.clock
+                    if oldest > clock:
+                        clock = oldest
+                start = clock
                 addr = base + index * esize
                 line = addr >> shift
                 sindex = line % scount
@@ -192,7 +260,29 @@ class RAEngine:
                         if len(entry) > l1_ways:
                             entry.pop()
                     l1_stats.misses += 1
-                    latency = below_l1(core, line, start)
+                    # L2 lookup inlined too (Cache.access, same discipline
+                    # as the L1 block); only the below-L2 walk is a call.
+                    s2 = line % l2_scount
+                    t2 = line // l2_scount
+                    e2 = l2_sets.get(s2)
+                    if e2 is not None and e2[0] == t2:
+                        l2_stats.hits += 1
+                        latency = l2_lat
+                    elif e2 is not None and t2 in e2:
+                        pos = e2.index(t2, 1)
+                        del e2[pos]
+                        e2.insert(0, t2)
+                        l2_stats.hits += 1
+                        latency = l2_lat
+                    else:
+                        if e2 is None:
+                            l2_sets[s2] = [t2]
+                        else:
+                            e2.insert(0, t2)
+                            if len(e2) > l2_ways:
+                                e2.pop()
+                        l2_stats.misses += 1
+                        latency = below_l2(core, line, start)
                 if pf_on:
                     # stride observe (_StreamTable.observe, mem.py), inlined
                     sentry = pf_streams.get(sname)
@@ -215,7 +305,7 @@ class RAEngine:
                 if tracer is not None:
                     tracer.ra_load(tname, start, completion)
                 inflight.append(completion)
-                self.clock += 1  # one engine slot per accepted request
+                clock += 1  # one engine slot per accepted request
                 try:
                     loaded = data[index]
                 except IndexError:
@@ -223,19 +313,19 @@ class RAEngine:
                         "RA %d: load %s[%d] out of bounds (len %d)"
                         % (spec.raid, spec.array, index, len(data))
                     )
-                delivery = self.last_delivery
+                delivery = last_del
                 if completion > delivery:
                     delivery = completion
-                stats.ra_loads += 1
+                ral += 1
                 # enq the delivery (blocking); try_enq inlined
                 if out_slot_free:
                     freed_at = out_slot_free.popleft()
                     t = freed_at if freed_at > delivery else delivery
                     out_entries.append((loaded, t + out_lat))
-                    out_queue.total_enqs += 1
+                    oute += 1
                     occupancy = len(out_entries)
-                    if occupancy > out_queue.max_occupancy:
-                        out_queue.max_occupancy = occupancy
+                    if occupancy > out_mo:
+                        out_mo = occupancy
                     if out_tracer is not None:
                         out_tracer.counter(out_queue.label, t, occupancy)
                     if out_queue.waiting_consumers:
@@ -245,13 +335,23 @@ class RAEngine:
                             waiter.wake()
                 else:
                     out_queue.full_blocks += 1
+                    self.clock = clock
+                    self.last_delivery = last_del
+                    stats.ra_loads += ral
+                    ral = 0
+                    in_queue.total_deqs += ind
+                    ind = 0
+                    out_queue.total_enqs += oute
+                    oute = 0
+                    if out_mo > out_queue.max_occupancy:
+                        out_queue.max_occupancy = out_mo
                     t = None
                     while t is None:
                         task.block(enq_block)
                         out_queue.waiting_producers.append(task)
                         yield BLOCKED
                         t = try_enq(delivery, loaded)
-                self.last_delivery = delivery if delivery > t else t
-                if t > delivery and t - latency > self.clock:
+                last_del = delivery if delivery > t else t
+                if t > delivery and t - latency > clock:
                     # Output backpressure: stall the front correspondingly.
-                    self.clock = t - latency
+                    clock = t - latency

@@ -85,6 +85,17 @@ class BarrierSync:
             t.wake()
         return release
 
+    def next_event_cycle(self, now):
+        """Event-horizon contract: when the barrier next releases anyone.
+
+        None while a generation is open (arrivals, not time, complete it);
+        otherwise the last release cycle bounded below by ``now`` — the
+        stall target ``arrive`` handed the final arriver."""
+        if self.arrived:
+            return None
+        release = self.last_release
+        return release if release > now else now
+
     def drop_participant(self):
         """A participating task finished; shrink the barrier.
 
@@ -203,6 +214,24 @@ class Scheduler:
             _, _, task = heapq.heappop(self._heap)
             if task.runnable and not task.done:
                 return task
+        return None
+
+    def next_event_horizon(self):
+        """Event-horizon contract: the cycle of the next task resume, or
+        None when no task is runnable (deadlock or completion).
+
+        Dead heap entries (tasks that finished or re-blocked since their
+        push) are lazily discarded, exactly like :meth:`_pop_runnable`, but
+        the live head stays queued — this is a pure query. ``run()`` then
+        advances the simulation straight to this horizon: there is no
+        per-cycle loop anywhere, quiescent cycles are skipped by
+        construction."""
+        heap = self._heap
+        while heap:
+            key, _, task = heap[0]
+            if task.runnable and not task.done:
+                return key
+            heapq.heappop(heap)
         return None
 
     def _report_deadlock(self):

@@ -7,6 +7,17 @@ traffic (for sanity checks and the analysis in Sec. VII-A).
 """
 
 
+#: ThreadStats fields a compiled engine may mirror in frame locals for the
+#: duration of a dispatch. The contract (relied on by
+#: :mod:`repro.pipette.batchpath`): mirrors must be flushed back before any
+#: point where another task or the scheduler can observe the thread (every
+#: ``yield``) and at completion. Accrual stays bit-identical to per-cycle
+#: stepping because the same float additions run in the same order on the
+#: same values — the mirrors only change *where* the running sum lives.
+MIRROR_COUNTERS = ("uops", "loads", "stores", "branches", "mispredicts", "queue_ops")
+MIRROR_STALLS = ("queue_stall", "mem_stall", "branch_stall", "barrier_stall")
+
+
 class ThreadStats:
     """Per-thread counters; cycle components attribute *why* time passed."""
 

@@ -39,19 +39,20 @@ def _copy_arrays(arrays):
 
 def run_pipeline(
     pipeline, arrays, scalars, config=None, core=0, stage_cores=None, copy=True,
-    tracer=None, fastpath=None,
+    tracer=None, fastpath=None, engine=None,
 ):
     """Run one pipeline program; returns a :class:`RunResult`.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) opts into cycle-domain event
     tracing; the default ``None`` keeps the run trace-free and unchanged.
-    ``fastpath`` forces the closure-compiled engine (``True``) or the
-    reference interpreter (``False``); ``None`` defers to ``REPRO_SLOWPATH``
-    and the pipeline's ``meta["fastpath"]``.
+    ``engine`` selects the execution engine by name (``"reference"``,
+    ``"fastpath"``, ``"batch"``); ``fastpath`` is the legacy boolean spelling
+    of the first two. ``None`` defers to ``REPRO_SLOWPATH`` / ``REPRO_ENGINE``
+    and the pipeline's ``meta``.
     """
     config = config or MachineConfig()
     bound = _copy_arrays(arrays) if copy else arrays
-    machine = Machine(config, tracer=tracer, fastpath=fastpath)
+    machine = Machine(config, tracer=tracer, fastpath=fastpath, engine=engine)
     spec = RunSpec(pipeline, bound, scalars, core=core, stage_cores=stage_cores)
     sim = machine.run(spec)
     cores_used = 1 if stage_cores is None else len(set(stage_cores))
@@ -60,15 +61,20 @@ def run_pipeline(
     )
 
 
-def run_serial(function, arrays, scalars, config=None, copy=True, tracer=None, fastpath=None):
+def run_serial(
+    function, arrays, scalars, config=None, copy=True, tracer=None, fastpath=None,
+    engine=None,
+):
     """Run a serial Function as a single-stage pipeline."""
     return run_pipeline(
         serial_pipeline(function), arrays, scalars, config=config, copy=copy,
-        tracer=tracer, fastpath=fastpath,
+        tracer=tracer, fastpath=fastpath, engine=engine,
     )
 
 
-def run_replicated(pipelines_and_envs, config, copy=True, tracer=None, fastpath=None):
+def run_replicated(
+    pipelines_and_envs, config, copy=True, tracer=None, fastpath=None, engine=None,
+):
     """Run several pipeline instances concurrently (replication, Fig. 14).
 
     ``pipelines_and_envs`` is a list of ``(pipeline, arrays, scalars, core)``
@@ -76,7 +82,7 @@ def run_replicated(pipelines_and_envs, config, copy=True, tracer=None, fastpath=
     shared data structures; when ``copy`` is set, identical objects are
     copied once and stay shared.
     """
-    machine = Machine(config, tracer=tracer, fastpath=fastpath)
+    machine = Machine(config, tracer=tracer, fastpath=fastpath, engine=engine)
     specs = []
     copies = {}
     for pipeline, arrays, scalars, core in pipelines_and_envs:

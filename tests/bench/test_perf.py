@@ -50,6 +50,30 @@ def _record(bench="bfs", cycles=1000, slow=2.0, fast=1.0, **over):
     return record
 
 
+def _multi_record(bench="bfs", cycles=1000, slow=4.0, fast=2.0, batch=1.0, **over):
+    """A record as the multi-engine harness emits it (``--engine all``)."""
+
+    def per(wall):
+        return {
+            "wall_s": wall,
+            "speedup": round(slow / wall, 3),
+            "sim_mcycles_per_s": round(cycles / wall / 1e6, 3),
+        }
+
+    return _record(
+        bench=bench,
+        cycles=cycles,
+        slow=slow,
+        fast=batch,  # legacy fast side tracks the primary (last) engine
+        engines={
+            "reference": per(slow),
+            "fastpath": per(fast),
+            "batch": per(batch),
+        },
+        **over,
+    )
+
+
 class TestMeasure:
     def test_measure_bench_record_shape(self, tiny_scale):
         record = perf.measure_bench("bfs", scale="quick", repeats=1)
@@ -69,6 +93,28 @@ class TestMeasure:
         two = perf.measure_bench("spmm", scale="quick", repeats=2)
         assert one["cycles"] == two["cycles"]
 
+    def test_measure_all_engines(self, tiny_scale):
+        record = perf.measure_bench("bfs", scale="quick", repeats=1, engines="all")
+        assert set(record["engines"]) == {"reference", "fastpath", "batch"}
+        assert record["engines"]["reference"]["speedup"] == 1.0
+        # Legacy flat keys track the primary (last, most advanced) engine.
+        assert record["fast_wall_s"] == record["engines"]["batch"]["wall_s"]
+        assert record["speedup"] == record["engines"]["batch"]["speedup"]
+
+    def test_single_engine_selection_keeps_reference(self, tiny_scale):
+        record = perf.measure_bench("spmm", scale="quick", repeats=1, engines="batch")
+        assert set(record["engines"]) == {"reference", "batch"}
+
+    def test_normalize_engines(self):
+        assert perf.normalize_engines() == ("reference", "fastpath")
+        assert perf.normalize_engines("all") == ("reference", "fastpath", "batch")
+        assert perf.normalize_engines("batch") == ("reference", "batch")
+        assert perf.normalize_engines(["batch", "fastpath"]) == (
+            "reference", "fastpath", "batch",
+        )
+        with pytest.raises(perf.PerfError):
+            perf.normalize_engines("warp-drive")
+
 
 class TestAggregate:
     def test_aggregate_is_total_ratio(self):
@@ -77,6 +123,23 @@ class TestAggregate:
         assert agg["slow_wall_s"] == 4.0
         assert agg["fast_wall_s"] == 2.0
         assert agg["speedup"] == 2.0
+
+    def test_aggregate_per_engine(self):
+        records = [
+            _multi_record(slow=4.0, fast=2.0, batch=1.0),
+            _multi_record(bench="cc", slow=2.0, fast=1.0, batch=1.0),
+        ]
+        agg = perf.aggregate(records)
+        assert agg["engines"]["reference"]["speedup"] == 1.0
+        assert agg["engines"]["fastpath"] == {"wall_s": 3.0, "speedup": 2.0}
+        assert agg["engines"]["batch"] == {"wall_s": 2.0, "speedup": 3.0}
+
+    def test_aggregate_mixed_records_uses_common_engines(self):
+        # A legacy record has no batch measurement: the batch aggregate
+        # would be meaningless, so only the common engine set is rolled up.
+        records = [_multi_record(), _record(bench="cc")]
+        agg = perf.aggregate(records)
+        assert set(agg["engines"]) == {"reference", "fastpath"}
 
 
 class TestBaseline:
@@ -132,6 +195,32 @@ class TestBaseline:
         )
         assert not errors
         assert any("no baseline record" in w for w in warnings)
+
+    def test_per_engine_wall_regression_names_the_engine(self):
+        baseline = perf.baseline_payload([_multi_record()], "quick")
+        fresh = _multi_record(fast=2.0, batch=3.0)  # batch got slower
+        errors, warnings = perf.check_against_baseline(
+            [fresh], baseline, threshold=0.25
+        )
+        assert not errors
+        assert any("bfs (batch)" in w and "exceeds baseline" in w for w in warnings)
+        assert not any("bfs (fastpath)" in w and "exceeds" in w for w in warnings)
+
+    def test_multi_engine_within_threshold_is_clean(self):
+        baseline = perf.baseline_payload([_multi_record()], "quick")
+        errors, warnings = perf.check_against_baseline(
+            [_multi_record(fast=2.1, batch=1.1)], baseline, threshold=0.25
+        )
+        assert not errors and not warnings
+
+    def test_legacy_record_against_multi_engine_baseline(self):
+        # A fresh legacy record has no per-engine map: the comparison falls
+        # back to the flat keys rather than crashing or double-counting.
+        baseline = perf.baseline_payload([_multi_record()], "quick")
+        errors, warnings = perf.check_against_baseline(
+            [_record(slow=4.0, fast=1.0)], baseline, threshold=0.25
+        )
+        assert not errors and not warnings
 
 
 class TestHistory:
@@ -190,6 +279,73 @@ class TestHistory:
         assert perf.git_describe(cwd=str(tmp_path)) == "unknown"
         assert isinstance(perf.git_describe(cwd=REPO_ROOT), str)
 
+    def test_write_baseline_multi_engine_grows_one_point_per_engine(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        loaded = json.loads(json.dumps(
+            perf.write_baseline([_multi_record()], "quick", path=path, git="abc")
+        ))
+        keys = {(e["engine"], e["git"]) for e in loaded["history"]}
+        assert keys == {("fastpath", "abc"), ("batch", "abc")}
+        by_engine = {e["engine"]: e for e in loaded["history"]}
+        assert by_engine["fastpath"]["benches"]["bfs"]["fast_wall_s"] == 2.0
+        assert by_engine["batch"]["benches"]["bfs"]["fast_wall_s"] == 1.0
+        assert by_engine["batch"]["aggregate"]["speedup"] == 4.0
+
+
+class _FakeCompleted:
+    def __init__(self, returncode=0, stdout=""):
+        self.returncode = returncode
+        self.stdout = stdout
+
+
+class TestGitDescribeHardening:
+    """``git describe`` fails in shallow clones and exported trees; the
+    history key must degrade to the short hash, never embed error text."""
+
+    def _patch(self, monkeypatch, outcomes):
+        def fake_run(argv, **kwargs):
+            result = outcomes.get(argv[1])
+            if isinstance(result, Exception):
+                raise result
+            return result
+
+        monkeypatch.setattr(perf.subprocess, "run", fake_run)
+
+    def test_clean_describe_wins(self, monkeypatch):
+        self._patch(monkeypatch, {
+            "describe": _FakeCompleted(0, "v1.2-4-gabc123-dirty\n"),
+        })
+        assert perf.git_describe() == "v1.2-4-gabc123-dirty"
+
+    def test_failed_describe_falls_back_to_short_hash(self, monkeypatch):
+        self._patch(monkeypatch, {
+            "describe": _FakeCompleted(128, "fatal: no names found\n"),
+            "rev-parse": _FakeCompleted(0, "abc123\n"),
+        })
+        assert perf.git_describe() == "abc123"
+
+    def test_error_text_on_stdout_is_rejected(self, monkeypatch):
+        # Some git builds/wrappers print diagnostics to stdout with rc 0.
+        self._patch(monkeypatch, {
+            "describe": _FakeCompleted(0, "fatal: not a git repository\n"),
+            "rev-parse": _FakeCompleted(0, "error: bad object\n"),
+        })
+        assert perf.git_describe() == "unknown"
+
+    def test_multiline_or_multiword_output_is_rejected(self, monkeypatch):
+        self._patch(monkeypatch, {
+            "describe": _FakeCompleted(0, "warning: shallow\nv1.0\n"),
+            "rev-parse": _FakeCompleted(0, "deadbee\n"),
+        })
+        assert perf.git_describe() == "deadbee"
+
+    def test_missing_git_binary_is_unknown(self, monkeypatch):
+        self._patch(monkeypatch, {
+            "describe": OSError("no git"),
+            "rev-parse": OSError("no git"),
+        })
+        assert perf.git_describe() == "unknown"
+
 
 class TestRendering:
     def test_table_mentions_every_bench_and_total(self):
@@ -197,12 +353,24 @@ class TestRendering:
         table = perf.render_table(records, perf.aggregate(records))
         assert "bfs" in table and "cc" in table and "total" in table
 
+    def test_table_grows_engine_columns(self):
+        records = [_multi_record(), _multi_record(bench="cc")]
+        table = perf.render_table(records, perf.aggregate(records))
+        assert "batch(s)" in table and "batch(x)" in table
+        assert "4.00x" in table  # the batch speedup column
+
     def test_obs_records_one_per_engine(self):
         out = perf.obs_records([_record()])
         assert len(out) == 2
         assert {r["variant"] for r in out} == {"engine-reference", "engine-fastpath"}
         assert all(r["schema"] == "repro.obs/run-record" for r in out)
         assert all(r["cycles"] == 1000 for r in out)
+
+    def test_obs_records_cover_batch(self):
+        out = perf.obs_records([_multi_record()])
+        assert {r["variant"] for r in out} == {
+            "engine-reference", "engine-fastpath", "engine-batch",
+        }
 
 
 #: Runs the harness on tiny inputs and prints {bench: cycles} as JSON.

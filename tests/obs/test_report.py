@@ -75,6 +75,59 @@ def _perf_baseline(with_history=True):
     return payload
 
 
+def _multi_engine_perf():
+    """A baseline written by an ``--engine all`` run: per-engine records
+    plus a history interleaving fastpath and batch points."""
+    record = {
+        "schema": "repro.bench/perf-record",
+        "version": 1,
+        "bench": "bfs",
+        "scale": "quick",
+        "repeats": 2,
+        "cycles": 5000,
+        "slow_wall_s": 4.0,
+        "fast_wall_s": 1.0,
+        "speedup": 4.0,
+        "sim_mcycles_per_s": 0.005,
+        "phases": {},
+        "engines": {
+            "reference": {"wall_s": 4.0, "speedup": 1.0, "sim_mcycles_per_s": 0.00125},
+            "fastpath": {"wall_s": 2.0, "speedup": 2.0, "sim_mcycles_per_s": 0.0025},
+            "batch": {"wall_s": 1.0, "speedup": 4.0, "sim_mcycles_per_s": 0.005},
+        },
+    }
+    history = []
+    for git, fast_x, batch_x in (("aaa1111", 1.8, 3.4), ("bbb2222", 2.0, 4.0)):
+        for engine, x in (("fastpath", fast_x), ("batch", batch_x)):
+            history.append(
+                {
+                    "git": git,
+                    "engine": engine,
+                    "scale": "quick",
+                    "recorded": "2026-08-0%d" % len(history),
+                    "aggregate": {"speedup": x, "fast_wall_s": 4.0 / x, "slow_wall_s": 4.0},
+                    "benches": {"bfs": {"sim_mcycles_per_s": 0.00125 * x, "speedup": x}},
+                }
+            )
+    return {
+        "schema": "repro.bench/perf-baseline",
+        "version": 1,
+        "scale": "quick",
+        "records": [record],
+        "aggregate": {
+            "slow_wall_s": 4.0,
+            "fast_wall_s": 1.0,
+            "speedup": 4.0,
+            "engines": {
+                "reference": {"wall_s": 4.0, "speedup": 1.0},
+                "fastpath": {"wall_s": 2.0, "speedup": 2.0},
+                "batch": {"wall_s": 1.0, "speedup": 4.0},
+            },
+        },
+        "history": history,
+    }
+
+
 def _telemetry_snapshot():
     return {
         "schema": "repro.service/telemetry",
@@ -259,6 +312,24 @@ class TestMarkdown:
         text = render_markdown(collect(results_dir))
         assert "aggregate speedup (latest 2.00)" in text
         assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+    def test_multi_engine_table_and_aggregate(self, tmp_path):
+        (tmp_path / "perf.json").write_text(json.dumps(_multi_engine_perf()))
+        text = render_markdown(collect(str(tmp_path)))
+        # One wall column per engine, one speedup column per non-reference
+        # engine, in canonical order.
+        assert "| ref (s) | fast (s) | batch (s) | fast (x) | batch (x) |" in text
+        assert "Aggregate: **4.00x** (ref 4.000s; fast 2.000s 2.00x; batch 1.000s 4.00x)." in text
+
+    def test_trajectory_sparks_grouped_per_engine(self, tmp_path):
+        (tmp_path / "perf.json").write_text(json.dumps(_multi_engine_perf()))
+        text = render_markdown(collect(str(tmp_path)))
+        # Interleaved fastpath/batch history points split into one labeled
+        # series per engine instead of one zig-zagging line.
+        assert "aggregate speedup [fastpath] (latest 2.00)" in text
+        assert "aggregate speedup [batch] (latest 4.00)" in text
+        assert "| git | engine | scale |" in text
+        assert "| bbb2222 | batch | quick |" in text
 
     def test_single_point_trajectory_omitted(self, tmp_path):
         (tmp_path / "perf.json").write_text(

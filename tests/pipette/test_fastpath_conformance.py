@@ -1,12 +1,13 @@
-"""Differential conformance: fast path ≡ reference interpreter, bit for bit.
+"""Differential conformance: every engine ≡ reference interpreter, bit for bit.
 
 Every shipped workload — the five paper benchmarks (static, data-parallel,
 and manual-pipeline variants), the Taco kernels, and the demo figure
-output — runs under both execution engines, and every observable must be
-identical: final arrays, total cycles, the full ``SimStats.summary()``
-(stall buckets, queue traffic, cache hit counts), the Fig. 10 cycle
-breakdown, and the energy model. Any divergence is a fast-path bug by
-definition: the reference interpreter is the oracle.
+output — runs under the full engine matrix (reference interpreter,
+closure-compiled fast path, batch-advance whole-stage compiler), and every
+observable must be identical: final arrays, total cycles, the full
+``SimStats.summary()`` (stall buckets, queue traffic, cache hit counts),
+the Fig. 10 cycle breakdown, and the energy model. Any divergence is an
+engine bug by definition: the reference interpreter is the oracle.
 """
 
 import os
@@ -20,24 +21,29 @@ REPO_ROOT = str(pathlib.Path(__file__).resolve().parents[2])
 
 from repro.bench.harness import adapter_for
 from repro.core import compile_c, compile_function
+from repro.pipette.fastpath import ENGINES
 from repro.runtime import run_pipeline
 from repro.workloads.matrices import random_matrix
 
 BENCHES = ("bfs", "cc", "prd", "radii", "spmm")
 
 
-def _both_engines(pipeline, arrays, scalars, config):
-    slow = run_pipeline(pipeline, arrays, scalars, config=config, fastpath=False)
-    fast = run_pipeline(pipeline, arrays, scalars, config=config, fastpath=True)
-    return slow, fast
+def _engine_matrix(pipeline, arrays, scalars, config):
+    """Run under every engine; returns ``{engine name: RunResult}``."""
+    return {
+        name: run_pipeline(pipeline, arrays, scalars, config=config, engine=name)
+        for name in ENGINES
+    }
 
 
-def _assert_identical(slow, fast):
-    assert fast.arrays == slow.arrays
-    assert fast.cycles == slow.cycles
-    assert fast.stats.summary() == slow.stats.summary()
-    assert fast.breakdown() == slow.breakdown()
-    assert fast.energy().as_dict() == slow.energy().as_dict()
+def _assert_identical(results):
+    oracle = results["reference"]
+    for name, result in results.items():
+        assert result.arrays == oracle.arrays, name
+        assert result.cycles == oracle.cycles, name
+        assert result.stats.summary() == oracle.stats.summary(), name
+        assert result.breakdown() == oracle.breakdown(), name
+        assert result.energy().as_dict() == oracle.energy().as_dict(), name
 
 
 def _bench_data(name, tiny_graph, micro_graph, small=False):
@@ -52,9 +58,9 @@ def test_static_pipeline_conformance(name, tiny_graph, micro_graph, tiny_config)
     data = _bench_data(name, tiny_graph, micro_graph)
     arrays, scalars = adapter.env(data)
     pipeline = compile_function(adapter.function(), num_stages=4)
-    slow, fast = _both_engines(pipeline, arrays, scalars, tiny_config)
-    _assert_identical(slow, fast)
-    assert adapter.check(fast.arrays, data)
+    results = _engine_matrix(pipeline, arrays, scalars, tiny_config)
+    _assert_identical(results)
+    assert adapter.check(results["batch"].arrays, data)
 
 
 @pytest.mark.parametrize("name", BENCHES)
@@ -63,8 +69,8 @@ def test_data_parallel_conformance(name, tiny_graph, micro_graph, tiny_config):
     data = _bench_data(name, tiny_graph, micro_graph, small=True)
     arrays, scalars = adapter.dp_env(data, 3)
     pipeline = adapter.dp_pipeline(3)
-    slow, fast = _both_engines(pipeline, arrays, scalars, tiny_config)
-    _assert_identical(slow, fast)
+    results = _engine_matrix(pipeline, arrays, scalars, tiny_config)
+    _assert_identical(results)
 
 
 @pytest.mark.parametrize("name", BENCHES)
@@ -73,8 +79,8 @@ def test_manual_pipeline_conformance(name, tiny_graph, micro_graph, tiny_config)
     data = _bench_data(name, tiny_graph, micro_graph, small=True)
     arrays, scalars = adapter.env(data)
     pipeline = adapter.manual()
-    slow, fast = _both_engines(pipeline, arrays, scalars, tiny_config)
-    _assert_identical(slow, fast)
+    results = _engine_matrix(pipeline, arrays, scalars, tiny_config)
+    _assert_identical(results)
 
 
 def _taco_cases():
@@ -141,8 +147,8 @@ def _taco_cases():
 def test_taco_kernels_conformance(tiny_config):
     for kernel, (arrays, scalars) in _taco_cases():
         pipeline = compile_c(kernel.source, num_stages=4)
-        slow, fast = _both_engines(pipeline, arrays, scalars, tiny_config)
-        _assert_identical(slow, fast)
+        results = _engine_matrix(pipeline, arrays, scalars, tiny_config)
+        _assert_identical(results)
 
 
 def test_demo_stdout_identical_across_engines(tmp_path):
@@ -154,13 +160,21 @@ def test_demo_stdout_identical_across_engines(tmp_path):
     cmd = [sys.executable, "-m", "repro", "demo", "bfs", "--size", "200", "--seed", "3"]
 
     env.pop("REPRO_SLOWPATH", None)
+    env.pop("REPRO_ENGINE", None)
     fast = subprocess.run(
         cmd, capture_output=True, text=True, env=env, cwd=REPO_ROOT
     )
+    assert fast.returncode == 0, fast.stderr
+    env["REPRO_ENGINE"] = "batch"
+    batch = subprocess.run(
+        cmd, capture_output=True, text=True, env=env, cwd=REPO_ROOT
+    )
+    assert batch.returncode == 0, batch.stderr
+    del env["REPRO_ENGINE"]
     env["REPRO_SLOWPATH"] = "1"
     slow = subprocess.run(
         cmd, capture_output=True, text=True, env=env, cwd=REPO_ROOT
     )
-    assert fast.returncode == 0, fast.stderr
     assert slow.returncode == 0, slow.stderr
     assert fast.stdout == slow.stdout
+    assert batch.stdout == slow.stdout

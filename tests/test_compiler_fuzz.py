@@ -94,16 +94,19 @@ def test_compiled_equals_serial(source, passes, num_stages, seed):
 
 @settings(max_examples=20, deadline=None)
 @given(kernels(), pass_subsets(), st.integers(1, 4), st.integers(0, 10_000))
-def test_fastpath_matches_reference_interpreter(source, passes, num_stages, seed):
+def test_engines_match_reference_interpreter(source, passes, num_stages, seed):
     """Differential fuzzing of the execution engines.
 
     Whatever pipeline the compiler produces, the closure-compiled fast path
-    must agree with the reference interpreter on *time*, not just memory:
-    final arrays, total cycles, and every ``SimStats.summary()`` field.
-    Hypothesis shrinks the kernel on the first divergence, so a failure
-    lands as a minimal irregular program plus the pass subset that built
-    the offending pipeline.
+    and the batch-advance whole-stage compiler must agree with the
+    reference interpreter on *time*, not just memory: final arrays, total
+    cycles, and every ``SimStats.summary()`` field. Hypothesis shrinks the
+    kernel on the first divergence, so a failure lands as a minimal
+    irregular program plus the pass subset that built the offending
+    pipeline, tagged with the engine that diverged.
     """
+    from repro.pipette.fastpath import ENGINES
+
     function = compile_source(source)
     config = MachineConfig()
     arrays = _env(seed)
@@ -112,11 +115,15 @@ def test_fastpath_matches_reference_interpreter(source, passes, num_stages, seed
         pipeline = compile_function(function, num_stages=num_stages, passes=passes)
     except PhloemError:
         return
-    slow = run_pipeline(pipeline, arrays, scalars, config=config, fastpath=False)
-    fast = run_pipeline(pipeline, arrays, scalars, config=config, fastpath=True)
-    assert fast.arrays["out"] == slow.arrays["out"], (source, passes, num_stages)
-    assert fast.cycles == slow.cycles, (source, passes, num_stages)
-    assert fast.stats.summary() == slow.stats.summary(), (source, passes, num_stages)
+    oracle = run_pipeline(pipeline, arrays, scalars, config=config, engine="reference")
+    for engine in ENGINES:
+        if engine == "reference":
+            continue
+        result = run_pipeline(pipeline, arrays, scalars, config=config, engine=engine)
+        label = (engine, source, passes, num_stages)
+        assert result.arrays["out"] == oracle.arrays["out"], label
+        assert result.cycles == oracle.cycles, label
+        assert result.stats.summary() == oracle.stats.summary(), label
 
 
 PHASED = """
