@@ -5,6 +5,16 @@ from .alias import AliasInfo, access_class
 from .costmodel import DecouplePoint, rank_decouple_points
 from .defs import DefUse, pure_regs
 from .loops import LoopNestInfo, estimated_trip_weight, find_phase_loop
+from .perfmodel import (
+    EdgeEstimate,
+    PerfReport,
+    StageEstimate,
+    analyze_pipeline,
+    measured_stage_busy,
+    perf_advisories,
+    static_score,
+    validate_prediction,
+)
 from .sanitize import (
     classify_cross_stage,
     lint_source,
@@ -29,6 +39,14 @@ __all__ = [
     "LoopNestInfo",
     "estimated_trip_weight",
     "find_phase_loop",
+    "EdgeEstimate",
+    "PerfReport",
+    "StageEstimate",
+    "analyze_pipeline",
+    "measured_stage_busy",
+    "perf_advisories",
+    "static_score",
+    "validate_prediction",
     "classify_cross_stage",
     "lint_source",
     "sanitize_function",

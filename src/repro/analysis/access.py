@@ -14,6 +14,10 @@ accesses (``nodes[v]``/``nodes[v+1]``) can be grouped into one decoupling
 point, as the paper describes.
 """
 
+from __future__ import annotations
+
+from typing import Any, Optional
+
 from ..ir.stmts import walk
 from .alias import access_class
 from .defs import DefUse
@@ -24,7 +28,7 @@ INDIRECT = "indirect"
 OTHER = "other"
 
 
-def affine_root(index, du, _depth=0):
+def affine_root(index: Any, du: DefUse, _depth: int = 0) -> tuple[Any, Any]:
     """Resolve ``index`` to ``(root_operand, constant_offset)``.
 
     Follows single-definition ``mov``/``add``/``sub``-by-constant chains.
@@ -58,7 +62,7 @@ def affine_root(index, du, _depth=0):
     return index, 0
 
 
-def _depends_on_load(reg, du, seen=None):
+def _depends_on_load(reg: Any, du: DefUse, seen: Optional[set[str]] = None) -> int:
     """Does ``reg``'s value derive (through scalar ops) from a load/deq?
 
     Returns the number of loads on the deepest dependence path (the
@@ -90,7 +94,15 @@ class AccessInfo:
 
     __slots__ = ("stmt", "kind", "depth", "indirection", "root", "offset", "cls")
 
-    def __init__(self, stmt, kind, depth, indirection, root, offset):
+    def __init__(
+        self,
+        stmt: Any,
+        kind: str,
+        depth: int,
+        indirection: int,
+        root: Any,
+        offset: Any,
+    ) -> None:
         self.stmt = stmt
         self.kind = kind
         self.depth = depth  # loop depth
@@ -99,7 +111,7 @@ class AccessInfo:
         self.offset = offset
         self.cls = access_class(stmt.array)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "Access(%s[%s]: %s, loop depth %d, indirection %d)" % (
             self.stmt.array,
             self.stmt.index,
@@ -109,7 +121,7 @@ class AccessInfo:
         )
 
 
-def classify_loads(body):
+def classify_loads(body: Any) -> list[AccessInfo]:
     """Classify every load in ``body``; returns a list of AccessInfo."""
     du = DefUse(body)
     nests = LoopNestInfo(body)

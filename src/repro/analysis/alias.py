@@ -12,13 +12,17 @@ in the kernel must have all its loads and stores in a single stage; other
 stages may at most prefetch it (Fig. 4's race and its resolution).
 """
 
+from __future__ import annotations
+
+from typing import Any
+
 from ..ir.stmts import walk
 
 _READ_KINDS = frozenset(["load", "prefetch"])
 _WRITE_KINDS = frozenset(["store", "atomic_rmw"])
 
 
-def access_class(array_operand):
+def access_class(array_operand: Any) -> Any:
     """The alias class of an array operand: the pointer it goes through."""
     return array_operand
 
@@ -26,25 +30,25 @@ def access_class(array_operand):
 class AliasInfo:
     """Read/write sets per alias class for one function body."""
 
-    def __init__(self, body):
-        self.reads = {}
-        self.writes = {}
+    def __init__(self, body: Any) -> None:
+        self.reads: dict[Any, list[Any]] = {}
+        self.writes: dict[Any, list[Any]] = {}
         for stmt in walk(body):
             if stmt.kind in _READ_KINDS:
                 self.reads.setdefault(access_class(stmt.array), []).append(stmt)
             elif stmt.kind in _WRITE_KINDS:
                 self.writes.setdefault(access_class(stmt.array), []).append(stmt)
 
-    def is_written(self, cls):
+    def is_written(self, cls: Any) -> bool:
         return cls in self.writes
 
-    def is_read(self, cls):
+    def is_read(self, cls: Any) -> bool:
         return cls in self.reads
 
-    def written_classes(self):
+    def written_classes(self) -> set[Any]:
         return set(self.writes)
 
-    def value_forwarding_legal(self, cls):
+    def value_forwarding_legal(self, cls: Any) -> bool:
         """May a load of ``cls`` be performed in one stage and its *value*
         consumed in another? Only if nothing writes the class (else the
         forwarded value could be stale — the paper's Fig. 4 race)."""

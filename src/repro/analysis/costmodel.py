@@ -14,9 +14,13 @@ together, rather than in two separate stages"). A candidate's score is
 ``#pragma decouple`` hints force a point to the top of the ranking.
 """
 
+from __future__ import annotations
+
+from typing import Any
+
 from ..frontend.pragmas import DECOUPLE_MARK
 from ..ir.stmts import walk
-from .access import INDIRECT, OTHER, SEQUENTIAL, classify_loads
+from .access import INDIRECT, OTHER, SEQUENTIAL, AccessInfo, classify_loads
 from .alias import AliasInfo
 from .loops import estimated_trip_weight
 
@@ -42,7 +46,16 @@ class DecouplePoint:
 
     __slots__ = ("loads", "cls", "kind", "depth", "score", "value_mode", "hinted")
 
-    def __init__(self, loads, cls, kind, depth, score, value_mode, hinted=False):
+    def __init__(
+        self,
+        loads: list[Any],
+        cls: Any,
+        kind: str,
+        depth: int,
+        score: float,
+        value_mode: bool,
+        hinted: bool = False,
+    ) -> None:
         self.loads = loads  # Load stmts, program order
         self.cls = cls
         self.kind = kind
@@ -54,7 +67,7 @@ class DecouplePoint:
         self.value_mode = value_mode
         self.hinted = hinted
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "DecouplePoint(%s x%d, %s, depth %d, score %.3g%s)" % (
             self.cls,
             len(self.loads),
@@ -65,7 +78,7 @@ class DecouplePoint:
         )
 
 
-def _hinted_load_ids(body):
+def _hinted_load_ids(body: Any) -> set[int]:
     """Loads immediately following a ``#pragma decouple`` marker."""
     hinted = set()
     pending = False
@@ -78,7 +91,7 @@ def _hinted_load_ids(body):
     return hinted
 
 
-def rank_decouple_points(function):
+def rank_decouple_points(function: Any) -> list[DecouplePoint]:
     """Rank all candidate decoupling points, best first."""
     infos = classify_loads(function.body)
     alias = AliasInfo(function.body)
@@ -86,8 +99,8 @@ def rank_decouple_points(function):
 
     # Group adjacent accesses: same class, same affine root, small offset
     # delta, same loop depth.
-    groups = []
-    by_key = {}
+    groups: list[list[AccessInfo]] = []
+    by_key: dict[tuple[Any, str, int], list[AccessInfo]] = {}
     for info in infos:
         key = None
         if type(info.root) is str:

@@ -7,15 +7,19 @@ where temporaries are single-definition and named variables are mutated in
 predictable scalar patterns (accumulators, counters).
 """
 
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
 from ..ir.stmts import walk
 
 
 class DefUse:
     """Definition and use sites of every register in a body."""
 
-    def __init__(self, body):
-        self.defs = {}  # reg -> [stmt]
-        self.uses = {}  # reg -> [stmt]
+    def __init__(self, body: Any) -> None:
+        self.defs: dict[str, list[Any]] = {}
+        self.uses: dict[str, list[Any]] = {}
         self.body = body
         for stmt in walk(body):
             for reg in stmt.defs():
@@ -23,19 +27,19 @@ class DefUse:
             for reg in stmt.uses():
                 self.uses.setdefault(reg, []).append(stmt)
 
-    def defining_stmts(self, reg):
+    def defining_stmts(self, reg: str) -> list[Any]:
         return self.defs.get(reg, [])
 
-    def single_def(self, reg):
+    def single_def(self, reg: str) -> Optional[Any]:
         """The unique defining statement of ``reg``, or None."""
         stmts = self.defs.get(reg, [])
         return stmts[0] if len(stmts) == 1 else None
 
-    def use_count(self, reg):
+    def use_count(self, reg: str) -> int:
         return len(self.uses.get(reg, []))
 
 
-def pure_regs(body, params):
+def pure_regs(body: Any, params: Iterable[str]) -> set[str]:
     """Registers whose values are computable from scalar parameters alone.
 
     A register is *pure* if every definition is an ``Assign``/``ReadShared``
@@ -46,9 +50,9 @@ def pure_regs(body, params):
     phase-scalar replication.
     """
     du = DefUse(body)
-    pure = set(params)
+    pure: set[str] = set(params)
 
-    def operand_pure(a):
+    def operand_pure(a: Any) -> bool:
         # Constants and array symbols (handles) are always pure.
         return type(a) is not str or a.startswith("@") or a in pure
 
@@ -83,7 +87,7 @@ def pure_regs(body, params):
     # a greatest fixpoint over mov-closed registers is sound for them: start
     # from every register defined solely by movs of array symbols or other
     # candidates and peel away violators.
-    handle_candidates = set()
+    handle_candidates: set[str] = set()
     for reg, stmts in du.defs.items():
         if all(s.kind == "assign" and s.op == "mov" for s in stmts):
             handle_candidates.add(reg)

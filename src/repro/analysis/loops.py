@@ -6,17 +6,23 @@ iterations cannot be overlapped (paper Sec. IV-A, "Program phases", e.g.
 the level loop of BFS or the convergence loop of PageRank-Delta).
 """
 
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
 
 class LoopNestInfo:
     """Maps statements to their enclosing loops within one body."""
 
-    def __init__(self, body):
+    def __init__(self, body: Any) -> None:
         self.body = body
-        self.parent_chain = {}  # id(stmt) -> tuple of enclosing loop stmts
-        self.container = {}  # id(stmt) -> the list that holds the stmt
+        #: id(stmt) -> tuple of enclosing loop stmts
+        self.parent_chain: dict[int, tuple[Any, ...]] = {}
+        #: id(stmt) -> the list that holds the stmt
+        self.container: dict[int, Any] = {}
         self._index(body, ())
 
-    def _index(self, body, chain):
+    def _index(self, body: Any, chain: tuple[Any, ...]) -> None:
         for stmt in body:
             self.parent_chain[id(stmt)] = chain
             self.container[id(stmt)] = body
@@ -24,19 +30,19 @@ class LoopNestInfo:
             for block in stmt.blocks():
                 self._index(block, inner)
 
-    def loops_of(self, stmt):
+    def loops_of(self, stmt: Any) -> tuple[Any, ...]:
         """Enclosing loops, outermost first."""
         return self.parent_chain.get(id(stmt), ())
 
-    def depth_of(self, stmt):
+    def depth_of(self, stmt: Any) -> int:
         return len(self.loops_of(stmt))
 
-    def innermost_loop(self, stmt):
+    def innermost_loop(self, stmt: Any) -> Optional[Any]:
         chain = self.loops_of(stmt)
         return chain[-1] if chain else None
 
 
-def find_phase_loop(body):
+def find_phase_loop(body: Any) -> Optional[Any]:
     """Find a top-level loop that acts as a *phase* loop.
 
     Heuristic mirroring the paper: the outermost statement list contains a
@@ -53,7 +59,7 @@ def find_phase_loop(body):
     return loop if has_nest else None
 
 
-def _walk_shallow(body):
+def _walk_shallow(body: Any) -> Iterator[Any]:
     """Statements of a body including those under Ifs, but not inside loops."""
     for stmt in body:
         yield stmt
@@ -63,6 +69,6 @@ def _walk_shallow(body):
                     yield inner
 
 
-def estimated_trip_weight(depth, base=8):
+def estimated_trip_weight(depth: int, base: int = 8) -> float:
     """Frequency weight of code at loop ``depth`` (cost model, Sec. V)."""
     return float(base**depth)

@@ -41,12 +41,20 @@ frontend lowered it (compiler-synthesized statements fall back to a
 ``stage``/``queue`` context string).
 """
 
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
 from ..diag import DiagnosticSet
 from ..ir.stmts import walk
 from .alias import AliasInfo, access_class
 
 #: Unknown multiplicity in the token-count abstract domain.
 TOP = "?"
+
+#: Token counts are ``int`` or :data:`TOP` — an untagged union the abstract
+#: arithmetic helpers below normalize, so the alias is deliberately loose.
+Count = Any
 
 #: Binary ops that are NOT commutative reductions: accumulating with one of
 #: these under replication makes the result depend on arrival order.
@@ -62,17 +70,17 @@ CONFLICTING = "conflicting"
 # Token-count abstract domain
 
 
-def _c_add(a, b):
+def _c_add(a: Count, b: Count) -> Count:
     return TOP if (a is TOP or b is TOP) else a + b
 
 
-def _c_mul(a, b):
+def _c_mul(a: Count, b: Count) -> Count:
     if a == 0 or b == 0:
         return 0
     return TOP if (a is TOP or b is TOP) else a * b
 
 
-def _c_fmt(c):
+def _c_fmt(c: Count) -> str:
     return "?" if c is TOP else str(c)
 
 
@@ -81,7 +89,7 @@ class _QEffect:
 
     __slots__ = ("enq", "ctrl", "deq", "peek")
 
-    def __init__(self, enq=0, ctrl=0, deq=0, peek=0):
+    def __init__(self, enq: Count = 0, ctrl: Count = 0, deq: Count = 0, peek: Count = 0) -> None:
         self.enq = enq
         self.ctrl = ctrl
         self.deq = deq
@@ -95,7 +103,7 @@ class _Imbalance:
 
     __slots__ = ("qid", "field", "stmt", "then_count", "else_count")
 
-    def __init__(self, qid, field, stmt, then_count, else_count):
+    def __init__(self, qid: Any, field: str, stmt: Any, then_count: Count, else_count: Count) -> None:
         self.qid = qid
         self.field = field
         self.stmt = stmt
@@ -103,7 +111,7 @@ class _Imbalance:
         self.else_count = else_count
 
 
-def _escapes(body, depth=0):
+def _escapes(body: Any, depth: int = 0) -> bool:
     """True if ``body`` can break/continue out of the loop enclosing it."""
     for stmt in body:
         if stmt.kind == "break" and stmt.levels > depth:
@@ -117,7 +125,7 @@ def _escapes(body, depth=0):
     return False
 
 
-def _trip_count(stmt):
+def _trip_count(stmt: Any) -> Count:
     """Exact trip count of a counted loop, or TOP."""
     if stmt.kind != "for":
         return TOP
@@ -128,7 +136,7 @@ def _trip_count(stmt):
     return TOP
 
 
-def body_effects(body, imbalances=None):
+def body_effects(body: Any, imbalances: Optional[list[_Imbalance]] = None) -> dict[Any, _QEffect]:
     """Abstractly interpret ``body``; returns ``{qid: _QEffect}``.
 
     ``imbalances`` (a list) collects branch arms that disagree on a queue
@@ -136,9 +144,9 @@ def body_effects(body, imbalances=None):
     """
     if imbalances is None:
         imbalances = []
-    eff = {}
+    eff: dict[Any, _QEffect] = {}
 
-    def bump(qid, field, count):
+    def bump(qid: Any, field: str, count: Count) -> None:
         qe = eff.setdefault(qid, _QEffect())
         setattr(qe, field, _c_add(getattr(qe, field), count))
 
@@ -186,9 +194,9 @@ def body_effects(body, imbalances=None):
     return eff
 
 
-def stage_effects(stage):
+def stage_effects(stage: Any) -> tuple[dict[Any, _QEffect], list[_Imbalance]]:
     """Token effects of a whole stage (body + handlers), with imbalances."""
-    imbalances = []
+    imbalances: list[_Imbalance] = []
     eff = body_effects(stage.body, imbalances)
     for handler in stage.handlers.values():
         # A handler runs an unknown number of times (once per control value
@@ -207,21 +215,21 @@ def stage_effects(stage):
 # Topology helpers
 
 
-def _stage_by_index(pipeline, index):
+def _stage_by_index(pipeline: Any, index: Any) -> Optional[Any]:
     for stage in pipeline.stages:
         if stage.index == index:
             return stage
     return None
 
 
-def _ra_by_id(pipeline, raid):
+def _ra_by_id(pipeline: Any, raid: Any) -> Optional[Any]:
     for ra in pipeline.ras:
         if ra.raid == raid:
             return ra
     return None
 
 
-def resolve_stage_producer(pipeline, qid):
+def resolve_stage_producer(pipeline: Any, qid: Any) -> tuple[Any, Any, bool, bool]:
     """Resolve ``qid``'s producing *stage*, walking back through RA chains.
 
     Returns ``(stage, origin_qid, ctrl_forwarded, exact_multiplicity)``:
@@ -254,14 +262,14 @@ def resolve_stage_producer(pipeline, qid):
         return None, qid, ctrl_ok, exact  # extern
 
 
-def _first_span(stmts_iter):
+def _first_span(stmts_iter: Iterable[Any]) -> Optional[Any]:
     for stmt in stmts_iter:
         if stmt.span is not None:
             return stmt.span
     return None
 
 
-def _queue_stmts(stage, qid, kinds):
+def _queue_stmts(stage: Any, qid: Any, kinds: tuple[str, ...]) -> list[Any]:
     return [
         s
         for s in stage.all_stmts()
@@ -269,7 +277,7 @@ def _queue_stmts(stage, qid, kinds):
     ]
 
 
-def _stage_label(stage):
+def _stage_label(stage: Any) -> str:
     return "stage %d (%s)" % (stage.index, stage.name)
 
 
@@ -277,10 +285,10 @@ def _stage_label(stage):
 # Token-balance analysis (PHL101-PHL105)
 
 
-def check_token_balance(pipeline, diags):
+def check_token_balance(pipeline: Any, diags: DiagnosticSet) -> None:
     """Prove per-queue enqueue/dequeue balance, or report why not."""
-    effects = {}
-    imbalances = {}
+    effects: dict[Any, dict[Any, _QEffect]] = {}
+    imbalances: dict[Any, list[_Imbalance]] = {}
     for stage in pipeline.stages:
         effects[stage.index], imbalances[stage.index] = stage_effects(stage)
 
@@ -338,7 +346,7 @@ def check_token_balance(pipeline, diags):
         consumer = _stage_by_index(pipeline, cidx)
         origin, _oqid, ctrl_ok, exact = resolve_stage_producer(pipeline, qid)
         if _consumes_ctrl(consumer, qid):
-            origin_ctrl = 0
+            origin_ctrl: Count = 0
             if origin is not None:
                 origin_ctrl = effects[origin.index].get(_oqid, _QEffect()).ctrl
             if not ctrl_ok:
@@ -419,15 +427,15 @@ def check_token_balance(pipeline, diags):
                     )
 
 
-def _qlabel(spec):
+def _qlabel(spec: Any) -> str:
     return " (%s)" % spec.label if spec.label else ""
 
 
-def _c_lt(a, b):
-    return a is not TOP and b is not TOP and a < b
+def _c_lt(a: Count, b: Count) -> bool:
+    return a is not TOP and b is not TOP and bool(a < b)
 
 
-def _consumes_ctrl(stage, qid):
+def _consumes_ctrl(stage: Any, qid: Any) -> bool:
     """Does ``stage`` terminate its consumption of ``qid`` on a control value?"""
     if qid in stage.handlers:
         return True
@@ -437,7 +445,7 @@ def _consumes_ctrl(stage, qid):
     )
 
 
-def _loop_chain(body, target, chain=()):
+def _loop_chain(body: Any, target: Any, chain: tuple[Any, ...] = ()) -> Optional[tuple[Any, ...]]:
     """Loop statements enclosing ``target``, outermost first, or None."""
     for stmt in body:
         if stmt is target:
@@ -450,7 +458,9 @@ def _loop_chain(body, target, chain=()):
     return None
 
 
-def _match_loop_rates(pipeline, producer, pqid, consumer, cqid, diags):
+def _match_loop_rates(
+    pipeline: Any, producer: Any, pqid: Any, consumer: Any, cqid: Any, diags: DiagnosticSet
+) -> None:
     """Refine TOP-vs-TOP multiplicity: same counted loop, different rates.
 
     When every enqueue sits in one counted loop and every dequeue sits in a
@@ -496,7 +506,7 @@ def _match_loop_rates(pipeline, producer, pqid, consumer, cqid, diags):
     )
 
 
-def _innermost_for(body, target):
+def _innermost_for(body: Any, target: Any) -> Optional[Any]:
     """The innermost *counted* loop enclosing ``target``, or None."""
     chain = _loop_chain(body, target)
     if not chain:
@@ -511,9 +521,9 @@ def _innermost_for(body, target):
 # Deadlock analysis (PHL201-PHL203)
 
 
-def stage_queue_graph(pipeline):
+def stage_queue_graph(pipeline: Any) -> dict[Any, list[Any]]:
     """The dependency graph: endpoint node -> [(endpoint node, qid)]."""
-    graph = {}
+    graph: dict[Any, list[Any]] = {}
     for stage in pipeline.stages:
         graph.setdefault(("stage", stage.index), [])
     for ra in pipeline.ras:
@@ -526,13 +536,13 @@ def stage_queue_graph(pipeline):
     return graph
 
 
-def _sccs(graph):
+def _sccs(graph: dict[Any, list[Any]]) -> list[list[Any]]:
     """Tarjan strongly-connected components, iteratively."""
-    index = {}
-    lowlink = {}
-    on_stack = {}
-    stack = []
-    sccs = []
+    index: dict[Any, int] = {}
+    lowlink: dict[Any, int] = {}
+    on_stack: dict[Any, bool] = {}
+    stack: list[Any] = []
+    sccs: list[list[Any]] = []
     counter = [0]
 
     for root in graph:
@@ -575,7 +585,7 @@ def _sccs(graph):
     return sccs
 
 
-def _node_label(pipeline, node):
+def _node_label(pipeline: Any, node: Any) -> str:
     kind, idx = node
     if kind == "stage":
         stage = _stage_by_index(pipeline, idx)
@@ -583,11 +593,11 @@ def _node_label(pipeline, node):
     return "RA %d" % idx
 
 
-def _c_max(a, b):
+def _c_max(a: Count, b: Count) -> Count:
     return TOP if (a is TOP or b is TOP) else max(a, b)
 
 
-def _max_burst(body, qout, qin):
+def _max_burst(body: Any, qout: Any, qin: Any) -> Count:
     """Max consecutive enqueues to ``qout`` without a dequeue of ``qin``.
 
     Abstract: a dequeue (or peek) of ``qin`` hands credit back to the
@@ -596,7 +606,7 @@ def _max_burst(body, qout, qin):
     the longest run observed anywhere inside it.
     """
 
-    def seq(body, pending):
+    def seq(body: Any, pending: Count) -> tuple[Count, Count]:
         best = pending
         for stmt in body:
             kind = stmt.kind
@@ -637,10 +647,10 @@ def _max_burst(body, qout, qin):
     return _c_max(pending, best)
 
 
-def check_deadlock(pipeline, diags):
+def check_deadlock(pipeline: Any, diags: DiagnosticSet) -> None:
     """Cycle + credit-based capacity feasibility over the topology graph."""
     graph = stage_queue_graph(pipeline)
-    edges = {}
+    edges: dict[Any, list[Any]] = {}
     for src, succs in graph.items():
         for dst, qid in succs:
             edges.setdefault((src, dst), []).append(qid)
@@ -706,14 +716,14 @@ def check_deadlock(pipeline, diags):
     _check_fanin_order(pipeline, diags)
 
 
-def _walk_positions(body):
+def _walk_positions(body: Any) -> dict[int, int]:
     return {id(stmt): pos for pos, stmt in enumerate(walk(body))}
 
 
-def _check_fanin_order(pipeline, diags):
+def _check_fanin_order(pipeline: Any, diags: DiagnosticSet) -> None:
     """PHL203: producer fills queue A completely before feeding queue B,
     while the consumer blocks on B before draining A."""
-    pairs = {}
+    pairs: dict[Any, list[Any]] = {}
     for q in pipeline.queues.values():
         if q.producer[0] == "stage" and q.consumer[0] == "stage":
             pairs.setdefault((q.producer[1], q.consumer[1]), []).append(q)
@@ -778,7 +788,7 @@ def _check_fanin_order(pipeline, diags):
 # Cross-stage race detection (PHL301-PHL304)
 
 
-def _stage_access_sites(stage):
+def _stage_access_sites(stage: Any) -> tuple[AliasInfo, dict[Any, list[Any]]]:
     """(alias info, load sites by class, write sites by class) for a stage."""
     info = AliasInfo(stage.body)
     for handler in stage.handlers.values():
@@ -795,7 +805,7 @@ def _stage_access_sites(stage):
     return info, loads
 
 
-def classify_cross_stage(pipeline):
+def classify_cross_stage(pipeline: Any) -> dict[Any, str]:
     """Classify every alias class accessed by >= 2 stages.
 
     Returns ``{class: verdict}`` with verdicts ``read-only`` (no stage
@@ -805,7 +815,9 @@ def classify_cross_stage(pipeline):
     through, per :mod:`repro.analysis.alias`); arrays *without* restrict
     share one may-alias class.
     """
-    readers, writers, loaders = {}, {}, {}
+    readers: dict[Any, set[Any]] = {}
+    writers: dict[Any, set[Any]] = {}
+    loaders: dict[Any, set[Any]] = {}
     for stage in pipeline.stages:
         info, loads = _stage_access_sites(stage)
         for cls in info.reads:
@@ -830,7 +842,7 @@ def classify_cross_stage(pipeline):
     return verdicts
 
 
-def _merged_class(pipeline, cls):
+def _merged_class(pipeline: Any, cls: Any) -> Any:
     """Map a non-restrict array's class into the shared may-alias class."""
     if cls.startswith("@"):
         decl = pipeline.arrays.get(cls[1:])
@@ -839,11 +851,11 @@ def _merged_class(pipeline, cls):
     return cls
 
 
-def check_races(pipeline, diags):
+def check_races(pipeline: Any, diags: DiagnosticSet) -> None:
     """Flag write-write and unordered read-write pairs across stages."""
-    write_sites = {}  # merged class -> {stage index -> [stmts]}
-    load_sites = {}
-    class_names = {}  # merged class -> set of source-level class names
+    write_sites: dict[Any, dict[Any, list[Any]]] = {}  # merged class -> {stage index -> [stmts]}
+    load_sites: dict[Any, dict[Any, list[Any]]] = {}
+    class_names: dict[Any, set[Any]] = {}  # merged class -> set of source-level class names
     for stage in pipeline.stages:
         info, loads = _stage_access_sites(stage)
         for cls, sites in info.writes.items():
@@ -890,9 +902,11 @@ def check_races(pipeline, diags):
     _check_shared_cells(pipeline, diags)
 
 
-def _check_shared_cells(pipeline, diags):
+def _check_shared_cells(pipeline: Any, diags: DiagnosticSet) -> None:
     """PHL304: shared scalar cells must cross stages only over a barrier."""
-    writers, readers, has_barrier = {}, {}, {}
+    writers: dict[Any, dict[Any, Any]] = {}
+    readers: dict[Any, dict[Any, Any]] = {}
+    has_barrier: dict[Any, bool] = {}
     for stage in pipeline.stages:
         has_barrier[stage.index] = any(s.kind == "barrier" for s in stage.all_stmts())
         for stmt in stage.all_stmts():
@@ -921,7 +935,9 @@ def _check_shared_cells(pipeline, diags):
 # Replication commutativity lint (PHL303)
 
 
-def check_commutativity(bodies, diags, where=None):
+def check_commutativity(
+    bodies: Iterable[tuple[str, Any]], diags: DiagnosticSet, where: Optional[str] = None
+) -> None:
     """Lint read-modify-write reductions for commutativity.
 
     ``bodies`` is an iterable of (label, body). Under replication, an
@@ -931,7 +947,7 @@ def check_commutativity(bodies, diags, where=None):
     commutative ops by construction; this catches the load/op/store form.
     """
     for label, body in bodies:
-        defs = {}
+        defs: dict[Any, list[Any]] = {}
         for stmt in walk(body):
             for reg in stmt.defs():
                 defs.setdefault(reg, []).append(stmt)
@@ -961,7 +977,7 @@ def check_commutativity(bodies, diags, where=None):
                 )
 
 
-def check_replication(pipeline, diags):
+def check_replication(pipeline: Any, diags: DiagnosticSet) -> None:
     if not pipeline.meta.get("replicate"):
         return
     check_commutativity(
@@ -973,7 +989,7 @@ def check_replication(pipeline, diags):
 # Entry points
 
 
-def sanitize_pipeline(pipeline, diags=None):
+def sanitize_pipeline(pipeline: Any, diags: Optional[DiagnosticSet] = None) -> DiagnosticSet:
     """Run the full static safety suite on a pipeline.
 
     Returns a :class:`~repro.diag.DiagnosticSet`; callers decide whether
@@ -988,7 +1004,7 @@ def sanitize_pipeline(pipeline, diags=None):
     return diags
 
 
-def sanitize_function(function, diags=None):
+def sanitize_function(function: Any, diags: Optional[DiagnosticSet] = None) -> DiagnosticSet:
     """Pre-pipeline lint of a serial Function (replication commutativity)."""
     if diags is None:
         diags = DiagnosticSet()
@@ -999,12 +1015,22 @@ def sanitize_function(function, diags=None):
     return diags
 
 
-def lint_source(source, name=None, options=None, file=None, verify_each=False):
+def lint_source(
+    source: str,
+    name: Optional[str] = None,
+    options: Optional[Any] = None,
+    file: Optional[str] = None,
+    verify_each: bool = False,
+    perf: bool = False,
+) -> DiagnosticSet:
     """Lint mini-C source end to end; never raises on findings.
 
     Parses, lowers, compiles, and sanitizes, converting every toolchain
     failure (parse, lowering, verification, compile) into its wrapper
-    diagnostic. Returns a :class:`~repro.diag.DiagnosticSet`.
+    diagnostic. ``perf`` additionally runs the static performance model
+    (:mod:`repro.analysis.perfmodel`) over the compiled pipeline and
+    appends its PHL4xx advisories. Returns a
+    :class:`~repro.diag.DiagnosticSet`.
     """
     # Imported lazily: analysis modules must not depend on repro.core at
     # import time (core's passes import repro.analysis).
@@ -1031,4 +1057,9 @@ def lint_source(source, name=None, options=None, file=None, verify_each=False):
     except CompileError as exc:
         return diags.extend(from_exception(exc, file=file))
 
-    return sanitize_pipeline(pipeline, diags)
+    sanitize_pipeline(pipeline, diags)
+    if perf:
+        from .perfmodel import perf_advisories
+
+        perf_advisories(pipeline, diags=diags)
+    return diags

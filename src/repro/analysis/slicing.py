@@ -6,10 +6,16 @@ insensitive closure, which is conservative and safe for the structured
 kernels we lower), and any loads those definitions chain through.
 """
 
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
 from .defs import DefUse
 
 
-def backward_slice(body, seed_operands, du=None):
+def backward_slice(
+    body: Any, seed_operands: Iterable[Any], du: Optional[DefUse] = None
+) -> tuple[set[int], set[str]]:
     """Statement ids in the backward slice of ``seed_operands``.
 
     Returns ``(stmt_ids, regs)``: the defining statements transitively
@@ -17,8 +23,8 @@ def backward_slice(body, seed_operands, du=None):
     """
     if du is None:
         du = DefUse(body)
-    needed = set()
-    sliced = set()
+    needed: set[str] = set()
+    sliced: set[int] = set()
     work = [op for op in seed_operands if type(op) is str and not op.startswith("@")]
     while work:
         reg = work.pop()

@@ -81,6 +81,7 @@ def _run_emit(req):
 
 def _run_lint(req):
     from ..analysis.sanitize import lint_source
+    from ..diag import LINT_REPORT_SCHEMA, LINT_REPORT_VERSION
 
     targets = []
     if req.bench is not None:
@@ -109,7 +110,7 @@ def _run_lint(req):
     reports = []
     records = []
     for label, source, name, path in targets:
-        diags = lint_source(source, name=name, options=options, file=path)
+        diags = lint_source(source, name=name, options=options, file=path, perf=req.perf)
         failed = failed or diags.has_errors
         errors += len(diags.errors())
         warnings += len(diags.warnings())
@@ -130,7 +131,12 @@ def _run_lint(req):
             for line in diags.render_text().splitlines():
                 print("  " + line)
     if req.json:
-        print(_json.dumps(reports, indent=2, sort_keys=True))
+        envelope = {
+            "schema": LINT_REPORT_SCHEMA,
+            "version": LINT_REPORT_VERSION,
+            "reports": reports,
+        }
+        print(_json.dumps(envelope, indent=2, sort_keys=True))
     return (1 if failed else 0), records, {"errors": errors, "warnings": warnings}
 
 
@@ -169,7 +175,13 @@ def _run_search(req):
 
     adapter = adapter_for(req.bench)
     train = datasets.TRAIN_MATRICES_SPMM if req.bench == "spmm" else datasets.TRAIN_GRAPHS
-    best, results = profile_guided_pipeline(adapter, train, config=SCALED_1CORE)
+    best, results = profile_guided_pipeline(
+        adapter, train, config=SCALED_1CORE, prune_static=req.prune_static
+    )
+    if req.prune_static:
+        # len(results) is cached with the search, so this line is stable
+        # across warm and cold runs (pruned candidates are never scored).
+        print("static pruning: simulated %d surviving candidates" % len(results))
     print(
         render_distribution(
             "training-set speedups by pipeline length",

@@ -136,6 +136,8 @@ class LintRequest(Request):
     passes: str = None
     verify_each: bool = False
     json: bool = False
+    #: Also run the static performance model (PHL4xx advisories).
+    perf: bool = False
 
 
 @dataclass
@@ -157,6 +159,9 @@ class SearchRequest(Request):
     VERB = "search"
 
     bench: str = "bfs"
+    #: Prune statically-dominated candidates before simulation (the
+    #: analytic throughput model ranks them; only the top quartile runs).
+    prune_static: bool = False
 
 
 @dataclass

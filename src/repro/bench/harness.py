@@ -134,7 +134,7 @@ def _record(variant, input_name, result, ok):
     return run
 
 
-def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stages=4, top_k=5, limit=40, passes=ALL_PASSES, recorder=None):
+def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stages=4, top_k=5, limit=40, passes=ALL_PASSES, recorder=None, prune_static=None):
     """Run the paper's profile-guided search; returns (best, all results).
 
     The evaluator scores each candidate by gmean speedup over serial on the
@@ -144,10 +144,16 @@ def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stag
     across process boundaries and to pickle to disk; ``best`` carries a
     real pipeline, recompiled through the pipeline cache on warm hits.
 
+    ``prune_static`` enables the static pre-filter
+    (:func:`repro.core.autotune.search_pipelines`): statically-dominated
+    candidates are dropped before any training simulation. It joins the
+    search-cache key — a pruned and an exhaustive search score different
+    candidate sets, so they must not share cache entries.
+
     ``recorder`` (a :class:`repro.obs.SearchRecorder`) observes the search.
     On a warm cache hit the scored candidates and verdict are replayed from
-    the cached payload (failed candidates are not cached, so the replay
-    shows scores only).
+    the cached payload (failed and pruned candidates are not cached, so
+    the replay shows scores only).
     """
     function = adapter.function()
     baselines = {}
@@ -164,6 +170,10 @@ def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stag
         cache.fingerprint_config(config),
         {"max_stages": max_stages, "top_k": top_k, "limit": limit, "passes": list(passes)},
     )
+    if prune_static:
+        # Joins the key only when enabled so pre-existing exhaustive-search
+        # cache entries keep their keys.
+        key_parts = key_parts + ({"prune_static": prune_static},)
 
     def compute():
         for item in train_inputs:
@@ -182,7 +192,7 @@ def profile_guided_pipeline(adapter, train_inputs, config=SCALED_1CORE, max_stag
 
         best, results = search_pipelines(
             function, evaluate, max_stages=max_stages, top_k=top_k, limit=limit,
-            passes=passes, recorder=recorder
+            passes=passes, recorder=recorder, prune_static=prune_static
         )
         return {
             "points": [(list(r.indices), r.num_units, r.speedup) for r in results],

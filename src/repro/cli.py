@@ -80,6 +80,7 @@ def _req_lint(args):
         passes=args.passes,
         verify_each=args.verify_each,
         json=args.json,
+        perf=args.perf,
     )
 
 
@@ -88,7 +89,7 @@ def _req_demo(args):
 
 
 def _req_search(args):
-    return api.SearchRequest(bench=args.bench)
+    return api.SearchRequest(bench=args.bench, prune_static=args.prune_static)
 
 
 def _req_trace(args):
@@ -428,6 +429,10 @@ def build_parser():
         help="also verify after every compiler pass, not just the final pipeline",
     )
     lint.add_argument("--json", action="store_true", help="machine-readable diagnostics")
+    lint.add_argument(
+        "--perf", action="store_true",
+        help="also run the static performance model (PHL4xx advisories)",
+    )
     lint.set_defaults(func=_cmd_lint, verb="lint")
 
     demo = sub.add_parser("demo", help="run one benchmark across all variants")
@@ -439,6 +444,10 @@ def build_parser():
 
     search = sub.add_parser("search", help="profile-guided pipeline search")
     search.add_argument("bench", choices=("bfs", "cc", "prd", "radii", "spmm"))
+    search.add_argument(
+        "--prune-static", action="store_true", dest="prune_static",
+        help="drop statically-dominated candidates before any simulation",
+    )
     search.set_defaults(func=_cmd_search, verb="search")
 
     figures = sub.add_parser("figures", help="regenerate evaluation figures")

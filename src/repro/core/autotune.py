@@ -71,6 +71,21 @@ def candidate_count(function, top_k=7):
     return min(top_k, len(rank_decouple_points(work)))
 
 
+def _prune_keep_count(n, prune_static):
+    """How many compiled candidates survive static pruning.
+
+    ``prune_static`` is ``True`` (keep the top quarter, at least 2), an
+    ``int`` (keep exactly that many), or a ``float`` fraction in (0, 1].
+    """
+    if prune_static is True:
+        keep = max(2, -(-n // 4))
+    elif isinstance(prune_static, float):
+        keep = math.ceil(n * prune_static)
+    else:
+        keep = int(prune_static)
+    return max(1, min(n, keep))
+
+
 def search_pipelines(
     function,
     evaluate,
@@ -80,6 +95,7 @@ def search_pipelines(
     limit=80,
     keep_failures=False,
     recorder=None,
+    prune_static=None,
 ):
     """Enumerate, compile, and profile candidate pipelines.
 
@@ -89,9 +105,18 @@ def search_pipelines(
     Combinations the compiler rejects (alias races, backward control) are
     skipped, exactly as untransformable candidates should be.
 
+    ``prune_static`` enables the static pre-filter: every candidate still
+    compiles, but only the ones the analytic performance model
+    (:func:`repro.analysis.perfmodel.static_score`) ranks highest are
+    simulated; the rest are dropped before ``evaluate`` ever runs. Pass
+    ``True`` (keep the top quarter, at least 2), an ``int`` (keep that
+    many), or a ``float`` fraction. Pruning only skips simulations — the
+    compile set, the scoring of survivors, and the final ``max`` by
+    measured speedup are unchanged.
+
     ``recorder`` (a :class:`repro.obs.SearchRecorder`) logs every candidate
-    — scored, compile-rejected, or evaluation-failed — and the selection
-    verdict; it observes the search without altering it.
+    — scored, compile-rejected, evaluation-failed, or statically pruned —
+    and the selection verdict; it observes the search without altering it.
     """
     k = candidate_count(function, top_k)
     combos = []
@@ -102,6 +127,8 @@ def search_pipelines(
 
     results = []
     failures = []
+
+    compiled = []
     for indices in combos:
         try:
             pipeline = compile_function(
@@ -114,6 +141,48 @@ def search_pipelines(
             failures.append((indices, str(exc)))
             if recorder is not None:
                 recorder.failed(indices, "compile", exc)
+            continue
+        compiled.append((indices, pipeline))
+
+    survivors = {indices: None for indices, _ in compiled}
+    if prune_static and compiled:
+        from ..analysis.perfmodel import analyze_pipeline
+
+        reports = {indices: analyze_pipeline(pipeline) for indices, pipeline in compiled}
+        scores = {indices: rep.static_score() for indices, rep in reports.items()}
+
+        def rank_key(item):
+            indices, pipeline = item
+            rep = reports[indices]
+            # Primary: predicted throughput. Ties (identical bottleneck
+            # work) break toward less total work, then fewer units — both
+            # proxies for decoupling overhead the bottleneck model cannot
+            # see — and finally deterministic combo order.
+            return (
+                -rep.static_score(),
+                sum(s.work for s in rep.stages),
+                pipeline.num_units,
+                indices,
+            )
+
+        keep = _prune_keep_count(len(compiled), prune_static)
+        ranked = sorted(compiled, key=rank_key)
+        survivors = {indices: scores[indices] for indices, _ in ranked[:keep]}
+        cutoff = min(survivors.values())
+        for indices, pipeline in compiled:
+            if indices in survivors:
+                continue
+            if recorder is not None:
+                recorder.pruned(
+                    indices,
+                    pipeline.num_units,
+                    scores[indices],
+                    "static score %.3g below cutoff %.3g (top %d kept)"
+                    % (scores[indices], cutoff, keep),
+                )
+
+    for indices, pipeline in compiled:
+        if indices not in survivors:
             continue
         try:
             speedup = evaluate(pipeline)

@@ -65,6 +65,12 @@ class CompileOptions:
     #: — the engine choice never changes the compiled pipeline, so both
     #: engines must share cache entries.
     fastpath: bool = True
+    #: Run the static performance model at the end of compilation and log
+    #: its PHL4xx advisories. Advisory only — it never changes the
+    #: compiled pipeline — so, like ``verify_each``/``fastpath``, it is
+    #: deliberately NOT part of cache_key(): analyzed and unanalyzed
+    #: compiles must share cache entries.
+    perf_lints: bool = False
 
     def __post_init__(self):
         object.__setattr__(self, "passes", tuple(self.passes))
@@ -260,6 +266,12 @@ def compile_function(
     for warning in diags.warnings():
         log("compile %s: %s", pipeline.name, warning.render())
     diags.raise_if_errors("pipeline %s failed static safety analysis" % pipeline.name)
+    if options.perf_lints:
+        # Advisory only: logged, never raised, never part of the cache key.
+        from ..analysis.perfmodel import perf_advisories
+
+        for advisory in perf_advisories(pipeline).sorted():
+            log("perf %s: %s", pipeline.name, advisory.render())
     return pipeline
 
 

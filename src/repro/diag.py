@@ -12,7 +12,10 @@ CI jobs, and editor integrations key on, so a code is never renumbered or
 reused once shipped.
 """
 
+from __future__ import annotations
+
 import json
+from typing import Any, Iterable, Iterator, Optional
 
 #: Severity levels, most severe first.
 ERROR = "error"
@@ -21,9 +24,16 @@ NOTE = "note"
 
 _SEVERITY_RANK = {ERROR: 0, WARNING: 1, NOTE: 2}
 
+#: Schema identity stamped on ``repro lint --json`` reports (the versioned
+#: wire envelope, matching the ``repro.obs/run-record`` idiom: additions
+#: never bump the version; consumers ignore unknown keys).
+LINT_REPORT_SCHEMA = "repro.diag/lint-report"
+LINT_REPORT_VERSION = 1
+
 #: Stable diagnostic codes: code -> (default severity, summary).
 #: Grouped by hundreds: 0xx toolchain wrappers, 1xx token balance,
-#: 2xx deadlock, 3xx cross-stage races.
+#: 2xx deadlock, 3xx cross-stage races, 4xx performance advisories
+#: (never errors: the 4xx family reports predictions, not defects).
 CODES = {
     "PHL001": (ERROR, "IR structural verification failure"),
     "PHL002": (ERROR, "mini-C parse failure"),
@@ -41,6 +51,11 @@ CODES = {
     "PHL302": (ERROR, "cross-stage read of a written array (read-write race)"),
     "PHL303": (WARNING, "non-commutative reduction under replication"),
     "PHL304": (ERROR, "shared scalar crosses stages without a barrier"),
+    "PHL401": (NOTE, "predicted bottleneck stage serializes the pipeline"),
+    "PHL402": (WARNING, "undersized queue likely to full-stall its producer"),
+    "PHL403": (NOTE, "oversized queue wastes buffer capacity"),
+    "PHL404": (WARNING, "data-dependent distribution key risks replica load imbalance"),
+    "PHL405": (WARNING, "predicted issue-bandwidth starvation on a shared core"),
 }
 
 
@@ -49,38 +64,38 @@ class Span:
 
     __slots__ = ("line", "col", "file")
 
-    def __init__(self, line, col=None, file=None):
+    def __init__(self, line: int, col: Optional[int] = None, file: Optional[str] = None) -> None:
         self.line = line
         self.col = col
         self.file = file
 
     @classmethod
-    def from_error(cls, exc, file=None):
+    def from_error(cls, exc: BaseException, file: Optional[str] = None) -> Optional[Span]:
         """Lift the line/col of a :class:`~repro.errors.SpannedError`."""
         line = getattr(exc, "line", None)
         if line is None:
             return None
         return cls(line, getattr(exc, "col", None), file)
 
-    def render(self):
+    def render(self) -> str:
         pos = "line %d" % self.line if self.col is None else "%d:%d" % (self.line, self.col)
         return "%s:%s" % (self.file, pos) if self.file else pos
 
-    def as_dict(self):
-        d = {"line": self.line}
+    def as_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {"line": self.line}
         if self.col is not None:
             d["col"] = self.col
         if self.file is not None:
             d["file"] = self.file
         return d
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Span)
             and (self.line, self.col, self.file) == (other.line, other.col, other.file)
         )
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "Span(%s)" % self.render()
 
 
@@ -94,7 +109,14 @@ class Diagnostic:
 
     __slots__ = ("code", "severity", "message", "span", "where")
 
-    def __init__(self, code, message, span=None, where=None, severity=None):
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        span: Optional[Span] = None,
+        where: Optional[str] = None,
+        severity: Optional[str] = None,
+    ) -> None:
         if code not in CODES:
             raise ValueError("unknown diagnostic code %r" % (code,))
         self.code = code
@@ -105,7 +127,7 @@ class Diagnostic:
         self.span = span
         self.where = where
 
-    def render(self):
+    def render(self) -> str:
         parts = []
         if self.span is not None:
             parts.append(self.span.render() + ":")
@@ -115,55 +137,80 @@ class Diagnostic:
             parts.append("[%s]" % self.where)
         return " ".join(parts)
 
-    def as_dict(self):
-        d = {"code": self.code, "severity": self.severity, "message": self.message}
+    def as_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
         if self.span is not None:
             d["span"] = self.span.as_dict()
         if self.where is not None:
             d["where"] = self.where
         return d
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "Diagnostic(%s)" % self.render()
 
 
 class DiagnosticSet:
     """An ordered collection of findings with severity-aware helpers."""
 
-    def __init__(self, diagnostics=()):
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
         self.diagnostics = list(diagnostics)
 
-    def add(self, code, message, span=None, where=None, severity=None):
+    def add(
+        self,
+        code: str,
+        message: str,
+        span: Optional[Span] = None,
+        where: Optional[str] = None,
+        severity: Optional[str] = None,
+    ) -> Diagnostic:
         diag = Diagnostic(code, message, span=span, where=where, severity=severity)
         self.diagnostics.append(diag)
         return diag
 
-    def extend(self, other):
+    def extend(self, other: Iterable[Diagnostic]) -> DiagnosticSet:
         self.diagnostics.extend(other)
         return self
 
-    def errors(self):
+    def errors(self) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity == ERROR]
 
-    def warnings(self):
+    def warnings(self) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity == WARNING]
 
-    def codes(self):
+    def codes(self) -> list[str]:
         return [d.code for d in self.diagnostics]
 
     @property
-    def has_errors(self):
+    def has_errors(self) -> bool:
         return any(d.severity == ERROR for d in self.diagnostics)
 
-    def sorted(self):
-        """Diagnostics ordered most-severe-first, then by position."""
-        def key(d):
-            line = d.span.line if d.span is not None else 1 << 30
-            return (_SEVERITY_RANK[d.severity], line, d.code)
+    def sorted(self) -> list[Diagnostic]:
+        """Diagnostics ordered most-severe-first, then by a total order.
+
+        The key is (severity, file, line, col, code, where, message): a
+        *total* order over every field that renders, so the emitted text is
+        byte-stable across ``PYTHONHASHSEED`` values and set/dict iteration
+        orders in the analyzers that produced the findings.
+        """
+        def key(d: Diagnostic) -> tuple[int, str, int, int, str, str, str]:
+            span = d.span
+            return (
+                _SEVERITY_RANK[d.severity],
+                (span.file or "") if span is not None else "",
+                span.line if span is not None else 1 << 30,
+                (span.col if span.col is not None else -1) if span is not None else -1,
+                d.code,
+                d.where or "",
+                d.message,
+            )
 
         return sorted(self.diagnostics, key=key)
 
-    def render_text(self):
+    def render_text(self) -> str:
         if not self.diagnostics:
             return "no diagnostics"
         lines = [d.render() for d in self.sorted()]
@@ -171,7 +218,7 @@ class DiagnosticSet:
         lines.append("%d error(s), %d warning(s)" % (n_err, n_warn))
         return "\n".join(lines)
 
-    def render_json(self):
+    def render_json(self) -> str:
         return json.dumps(
             {
                 "diagnostics": [d.as_dict() for d in self.sorted()],
@@ -182,7 +229,7 @@ class DiagnosticSet:
             indent=2,
         )
 
-    def raise_if_errors(self, prefix="static analysis failed"):
+    def raise_if_errors(self, prefix: str = "static analysis failed") -> DiagnosticSet:
         """Raise :class:`~repro.errors.SanitizeError` when errors are present."""
         errors = self.errors()
         if not errors:
@@ -192,20 +239,20 @@ class DiagnosticSet:
         message = "%s:\n%s" % (prefix, "\n".join(d.render() for d in errors))
         raise SanitizeError(message, diagnostics=errors)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.diagnostics)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Diagnostic]:
         return iter(self.diagnostics)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "DiagnosticSet(%d errors, %d warnings)" % (
             len(self.errors()),
             len(self.warnings()),
         )
 
 
-def from_exception(exc, file=None):
+def from_exception(exc: BaseException, file: Optional[str] = None) -> DiagnosticSet:
     """Wrap a toolchain exception as a one-diagnostic set (lint CLI path)."""
     from .errors import CompileError, IRVerificationError, LoweringError, ParseError
 

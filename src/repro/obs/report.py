@@ -42,6 +42,7 @@ REPORT_VERSION = 1
 PERF_BASELINE_SCHEMA = "repro.bench/perf-baseline"
 PERF_RECORD_SCHEMA = "repro.bench/perf-record"
 TELEMETRY_SCHEMA = "repro.service/telemetry"
+LINT_REPORT_SCHEMA = "repro.diag/lint-report"
 
 #: The Fig. 10 cycle buckets, in presentation order. ``branch``/``barrier``
 #: are the informational decomposition of ``other`` and stay out of totals.
@@ -186,7 +187,12 @@ class ExperimentReport:
 
 
 def _classify(payload):
-    """``(kind, items)`` for one parsed JSON payload, by schema shape."""
+    """``(kind, items)`` for one parsed JSON payload, by schema tag.
+
+    Lint reports are matched by their ``repro.diag/lint-report`` schema
+    tag; the bare-list shape of pre-envelope ``repro lint --json`` output
+    is still recognized so archived results directories keep aggregating.
+    """
     if isinstance(payload, list):
         if payload and all(
             isinstance(entry, dict) and "diagnostics" in entry for entry in payload
@@ -196,6 +202,9 @@ def _classify(payload):
     if not isinstance(payload, dict):
         return "skipped", None
     schema = payload.get("schema")
+    if schema == LINT_REPORT_SCHEMA:
+        reports = payload.get("reports")
+        return ("lint", reports) if isinstance(reports, list) else ("skipped", None)
     if schema == PERF_BASELINE_SCHEMA:
         return "perf", payload
     if schema == TELEMETRY_SCHEMA:

@@ -45,6 +45,22 @@ class SearchRecorder:
             }
         )
 
+    def pruned(self, indices, num_units, score, reason):
+        """A candidate the static performance model dropped before
+        simulation (``search_pipelines(prune_static=...)``): it compiled,
+        was scored statically, and lost to better-predicted candidates.
+        """
+        self.candidates.append(
+            {
+                "points": list(indices),
+                "units": num_units,
+                "speedup": None,
+                "static_score": score,
+                "status": "pruned",
+                "reason": reason,
+            }
+        )
+
     def decide(self, best_indices):
         """Record the selection verdict once scoring is done."""
         scored = [c for c in self.candidates if c["status"] == "scored"]
@@ -84,13 +100,18 @@ class SearchRecorder:
         """ASCII rendering: every candidate, then the verdict."""
         lines = ["%-16s %6s %9s  %s" % ("points", "units", "speedup", "status")]
         for c in self.candidates:
+            status = c["status"]
+            if "error" in c:
+                status += ": " + c["error"]
+            elif "reason" in c:
+                status += ": " + c["reason"]
             lines.append(
                 "%-16s %6s %9s  %s"
                 % (
                     c["points"],
                     "-" if c["units"] is None else c["units"],
                     "-" if c["speedup"] is None else "%.2fx" % c["speedup"],
-                    c["status"] + (": " + c["error"] if "error" in c else ""),
+                    status,
                 )
             )
         v = self.verdict

@@ -1,0 +1,99 @@
+"""Aliasing classes and the value-forwarding rule (paper Sec. IV-A)."""
+
+from repro import ir
+from repro.analysis.alias import AliasInfo, access_class
+from repro.frontend import compile_source
+
+
+def test_access_class_is_the_pointer():
+    # restrict semantics: every pointer is its own class, classes never
+    # merge — two parameters never alias even with identical indices.
+    assert access_class("@edges") == "@edges"
+    assert access_class("cur_fringe") == "cur_fringe"
+    assert access_class("@a") != access_class("@b")
+
+
+def test_read_and_write_sets():
+    body = [
+        ir.Load("v", "@a", "i"),
+        ir.Store("@b", "i", "v"),
+        ir.Prefetch("@c", "v"),
+    ]
+    info = AliasInfo(body)
+    assert info.is_read("@a") and info.is_read("@c")
+    assert not info.is_read("@b")
+    assert info.is_written("@b")
+    assert info.written_classes() == {"@b"}
+
+
+def test_aliased_pointer_args_stay_distinct():
+    # The same index register through two different pointers lands in two
+    # classes; writing one leaves the other forwardable.
+    body = [
+        ir.Load("x", "@a", "i"),
+        ir.Load("y", "@b", "i"),
+        ir.Store("@b", "i", "x"),
+    ]
+    info = AliasInfo(body)
+    assert info.value_forwarding_legal("@a")
+    assert not info.value_forwarding_legal("@b")
+
+
+def test_swappable_pointer_local_is_one_class():
+    # BFS's double-buffered fringe: accesses through the *local* pointer
+    # register form one class regardless of which buffer it points at.
+    body = [
+        ir.Load("v", "cur_fringe", "i"),
+        ir.Store("cur_fringe", "j", "v"),
+    ]
+    info = AliasInfo(body)
+    assert info.is_read("cur_fringe") and info.is_written("cur_fringe")
+    assert not info.value_forwarding_legal("cur_fringe")
+
+
+def test_atomic_rmw_is_a_write():
+    body = [ir.AtomicRMW("old", "add", "@counts", "k", 1)]
+    info = AliasInfo(body)
+    assert info.is_written("@counts")
+    assert not info.is_read("@counts")
+    assert not info.value_forwarding_legal("@counts")
+
+
+def test_prefetch_is_a_read_not_a_write():
+    body = [ir.Prefetch("@a", "i")]
+    info = AliasInfo(body)
+    assert info.is_read("@a")
+    assert not info.is_written("@a")
+    assert info.value_forwarding_legal("@a")
+
+
+def test_nested_blocks_are_walked():
+    store = ir.Store("@out", "i", "x")
+    body = [
+        ir.Loop([
+            ir.For("i", 0, 4, 1, [ir.If("c", [store], [ir.Load("x", "@in", "i")])])
+        ])
+    ]
+    info = AliasInfo(body)
+    assert info.is_written("@out")
+    assert info.is_read("@in")
+
+
+def test_empty_body_forwards_everything():
+    info = AliasInfo([])
+    assert info.written_classes() == set()
+    assert info.value_forwarding_legal("@anything")
+
+
+def test_lowered_kernel_classes():
+    src = """
+    void k(const int* restrict a, int* restrict out, int n) {
+      for (int i = 0; i < n; i++) { out[i] = a[i] + 1; }
+    }
+    """
+    f = compile_source(src)
+    info = AliasInfo(f.body)
+    assert info.is_read("@a")
+    assert info.is_written("@out")
+    assert info.value_forwarding_legal("@a")
+    assert not info.value_forwarding_legal("@out")

@@ -47,3 +47,25 @@ def test_phase_loop_requires_nest():
 
 def test_trip_weight_grows_exponentially():
     assert estimated_trip_weight(3) == 8 * estimated_trip_weight(2)
+
+
+def test_trip_weight_nested_edge_cases():
+    # Depth 0 (outside any loop) is weight 1, custom bases compound per
+    # level, and the result is always a float.
+    assert estimated_trip_weight(0) == 1.0
+    assert estimated_trip_weight(2, base=4) == 16.0
+    assert type(estimated_trip_weight(1)) is float
+
+
+def test_two_top_level_while_loops_are_not_a_phase():
+    inner = [ir.For("i", 0, 4, 1, [ir.Assign("x", "mov", [0])])]
+    body = [ir.Loop(list(inner)), ir.Loop(list(inner))]
+    assert find_phase_loop(body) is None
+
+
+def test_phase_loop_nest_found_under_if():
+    # The shallow walk looks through Ifs for the work nest, but not into
+    # nested loops.
+    nest = ir.If("c", [ir.For("i", 0, 4, 1, [ir.Assign("x", "mov", [0])])], [])
+    loop = ir.Loop([nest])
+    assert find_phase_loop([loop]) is loop

@@ -39,3 +39,47 @@ def test_constants_dont_slice():
     body = [ir.Assign("x", "mov", [5])]
     ids, _ = backward_slice(body, [7])
     assert ids == set()
+
+
+def test_empty_seeds_give_empty_slice():
+    body = [ir.Assign("x", "mov", [5]), ir.Load("v", "@a", "x")]
+    ids, regs = backward_slice(body, [])
+    assert ids == set() and regs == set()
+
+
+def test_array_pointer_seeds_are_not_registers():
+    # "@"-prefixed operands are alias classes, not scalar registers: they
+    # seed nothing (the alias analysis owns them).
+    body = [ir.Assign("x", "mov", [5]), ir.Store("@a", "x", 1)]
+    ids, regs = backward_slice(body, ["@a"])
+    assert ids == set() and regs == set()
+
+
+def test_multiple_defs_all_pulled():
+    # Flow-insensitive closure: every def of a register joins the slice,
+    # including the loop-carried update.
+    init = ir.Assign("acc", "mov", [0])
+    update = ir.Assign("acc", "add", ["acc", "v"])
+    load = ir.Load("v", "@a", "i")
+    body = [init, ir.For("i", 0, 4, 1, [load, update])]
+    ids, regs = backward_slice(body, ["acc"])
+    assert {id(init), id(update), id(load)} <= ids
+    assert {"acc", "v", "i"} <= regs
+
+
+def test_nested_loop_bounds_chain():
+    # Slicing an inner-loop value pulls both loop headers and the loaded
+    # bound the inner header depends on.
+    bound = ir.Load("row_end", "@offsets", "i")
+    inner = ir.For("j", "i", "row_end", 1, [ir.Assign("x", "add", ["j", 1])])
+    outer = ir.For("i", 0, "n", 1, [bound, inner])
+    ids, regs = backward_slice([outer], ["x"])
+    assert {id(bound), id(inner), id(outer)} <= ids
+    assert {"row_end", "i", "j", "n"} <= regs
+
+
+def test_self_referential_def_terminates():
+    body = [ir.Assign("x", "add", ["x", 1])]
+    ids, regs = backward_slice(body, ["x"])
+    assert ids == {id(body[0])}
+    assert regs == {"x"}

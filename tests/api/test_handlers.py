@@ -61,6 +61,21 @@ def test_lint_bad_kernel_collects_diagnostics():
     assert any(code and code.startswith("PHL") for code in codes)
 
 
+def test_lint_perf_advisories_flow_through():
+    import json as _json
+
+    response = api.handle(api.LintRequest(bench="bfs", perf=True, json=True))
+    assert response.ok, "advisories never fail a lint"
+    payload = _json.loads(response.output)
+    assert payload["schema"] == "repro.diag/lint-report"
+    assert payload["version"] == 1
+    (entry,) = payload["reports"]
+    codes = {d["code"] for d in entry["diagnostics"]}
+    assert "PHL401" in codes
+    # The structured record stream carries the same advisories.
+    assert any(r.get("code") == "PHL401" for r in response.records)
+
+
 def test_demo_reports_speedup():
     response = api.handle(api.RunRequest(bench="bfs", size=300))
     assert isinstance(response, api.RunResponse)

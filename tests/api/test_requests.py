@@ -24,9 +24,9 @@ from repro.api.requests import REQUEST_SCHEMA, REQUEST_TYPES, RESPONSE_FOR_VERB
 
 ALL_REQUESTS = [
     CompileRequest(source="void k() {}", name="k", fmt="summary"),
-    LintRequest(bench="bfs", json=True),
+    LintRequest(bench="bfs", json=True, perf=True),
     RunRequest(bench="cc", size=120, seed=3),
-    SearchRequest(bench="prd"),
+    SearchRequest(bench="prd", prune_static=True),
     TraceRequest(bench="radii", trace_out="/tmp/t.json", profile_passes=True),
     MetricsRequest(bench="spmm", jobs=2, quiet=True),
     BenchPerfRequest(benches=("bfs", "cc"), scale="quick", strict=True),

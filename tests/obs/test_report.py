@@ -170,12 +170,30 @@ def results_dir(tmp_path):
     )
     (tmp_path / "lint.json").write_text(
         json.dumps(
+            {
+                "schema": "repro.diag/lint-report",
+                "version": 1,
+                "reports": [
+                    {
+                        "target": "bfs.c",
+                        "errors": 0,
+                        "warnings": 1,
+                        "diagnostics": [{"code": "PHL010", "severity": "warning"}],
+                    }
+                ],
+            }
+        )
+    )
+    # The pre-envelope ``repro lint --json`` shape: a bare report list.
+    # Archived results directories still aggregate.
+    (tmp_path / "lint_legacy.json").write_text(
+        json.dumps(
             [
                 {
-                    "file": "bfs.c",
+                    "file": "cc.c",
                     "errors": 0,
                     "warnings": 1,
-                    "diagnostics": [{"code": "PHL010", "severity": "warning"}],
+                    "diagnostics": [{"code": "PHL402", "severity": "warning"}],
                 }
             ]
         )
@@ -217,6 +235,7 @@ class TestCollect:
         kinds = {s["file"]: s["kind"] for s in report.sources}
         assert kinds["runs.jsonl"] == "runs"
         assert kinds["lint.json"] == "lint"
+        assert kinds["lint_legacy.json"] == "lint"
         assert kinds["perf.json"] == "perf"
         assert kinds["timeline.json"] == "timeline"
         assert kinds["telemetry.json"] == "telemetry"
@@ -244,10 +263,10 @@ class TestCollect:
     def test_lint_rollup(self, results_dir):
         rollup = collect(results_dir).lint_rollup()
         assert rollup == {
-            "targets": 1,
+            "targets": 2,
             "errors": 0,
-            "warnings": 1,
-            "codes": {"PHL010": 1},
+            "warnings": 2,
+            "codes": {"PHL010": 1, "PHL402": 1},
         }
 
     def test_trajectory_from_history(self, results_dir):

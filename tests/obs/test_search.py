@@ -58,6 +58,45 @@ def test_verdict_margin_and_render():
     assert "verdict:" in text
 
 
+def test_recorder_logs_pruned_candidates():
+    adapter = adapter_for("bfs")
+    recorder = SearchRecorder()
+    simulated = []
+
+    def evaluate(pipeline):
+        simulated.append(pipeline.num_units)
+        return float(pipeline.num_units)
+
+    best, results = search_pipelines(
+        adapter.function(), evaluate, max_stages=3, top_k=3,
+        recorder=recorder, prune_static=True,
+    )
+    scored = [c for c in recorder.candidates if c["status"] == "scored"]
+    pruned = [c for c in recorder.candidates if c["status"] == "pruned"]
+    # Pruned candidates are never evaluated: the recorder's scored entries
+    # are exactly the simulations that ran.
+    assert len(scored) == len(simulated) == len(results)
+    for entry in pruned:
+        assert entry["speedup"] is None
+        assert entry["static_score"] > 0
+        assert "static score" in entry["reason"]
+    text = recorder.render()
+    if pruned:
+        assert "pruned: static score" in text
+
+
+def test_pruned_entry_render():
+    recorder = SearchRecorder()
+    recorder.scored((1,), 3, 2.0)
+    recorder.pruned((0,), 2, 0.001, "static score 0.001 below cutoff 0.002 (top 1 kept)")
+    recorder.decide((1,))
+    d = recorder.as_dict()
+    assert len(d["candidates"]) == 2
+    entry = next(c for c in recorder.candidates if c["status"] == "pruned")
+    assert entry["static_score"] == 0.001
+    assert "pruned: static score 0.001" in recorder.render()
+
+
 def test_sole_candidate_has_no_margin():
     recorder = SearchRecorder()
     recorder.scored((2,), 2, 1.5)

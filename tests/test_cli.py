@@ -254,7 +254,9 @@ class TestLint:
     def test_lint_json_shape(self, kernel_file, capsys):
         assert main(["lint", kernel_file, "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        (entry,) = payload
+        assert payload["schema"] == "repro.diag/lint-report"
+        assert payload["version"] == 1
+        (entry,) = payload["reports"]
         assert entry["errors"] == 0 and entry["warnings"] == 0
         assert entry["diagnostics"] == []
         assert entry["target"].endswith("k.c")
@@ -263,10 +265,23 @@ class TestLint:
         path = tmp_path / "bad.c"
         path.write_text(BAD_KERNEL)
         assert main(["lint", str(path), "--json"]) == 1
-        (entry,) = json.loads(capsys.readouterr().out)
+        (entry,) = json.loads(capsys.readouterr().out)["reports"]
         (d,) = entry["diagnostics"]
         assert d["code"] == "PHL003"
         assert d["span"]["line"] == 4
+
+    def test_lint_perf_advisories(self, capsys):
+        # --perf adds the PHL4xx performance advisories; they are
+        # advisory-only, so the exit code stays 0.
+        assert main(["lint", "--bench", "bfs", "--perf"]) == 0
+        out = capsys.readouterr().out
+        assert "PHL401" in out
+        assert main(["lint", "--bench", "bfs", "--perf", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload["reports"]
+        codes = set(d["code"] for d in entry["diagnostics"])
+        assert "PHL401" in codes
+        assert all(c.startswith("PHL4") for c in codes)
 
     def test_lint_verify_each_benchmarks(self, capsys):
         assert main(["lint", "--bench", "bfs", "--verify-each"]) == 0

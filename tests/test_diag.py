@@ -1,12 +1,17 @@
 """The diagnostics framework: codes, spans, rendering, severity plumbing."""
 
 import json
+import os
+import subprocess
+import sys
 
 import pytest
 
 from repro.diag import (
     CODES,
     ERROR,
+    LINT_REPORT_SCHEMA,
+    LINT_REPORT_VERSION,
     NOTE,
     WARNING,
     Diagnostic,
@@ -31,6 +36,19 @@ class TestRegistry:
         assert CODES["PHL104"][0] == WARNING
         assert CODES["PHL201"][0] == WARNING
         assert CODES["PHL301"][0] == ERROR
+        assert CODES["PHL401"][0] == NOTE
+        assert CODES["PHL402"][0] == WARNING
+
+    def test_perf_advisories_are_never_errors(self):
+        # The PHL4xx family is advisory by contract: a performance finding
+        # must never fail a compile.
+        for code, (severity, _) in CODES.items():
+            if code.startswith("PHL4"):
+                assert severity in (WARNING, NOTE), code
+
+    def test_lint_report_schema_identity(self):
+        assert LINT_REPORT_SCHEMA == "repro.diag/lint-report"
+        assert LINT_REPORT_VERSION == 1
 
     def test_every_code_is_well_formed(self):
         for code, (severity, summary) in CODES.items():
@@ -73,6 +91,51 @@ class TestDiagnosticSet:
         diags.add("PHL104", "warn", span=Span(1))
         diags.add("PHL105", "err", span=Span(99))
         assert [d.code for d in diags.sorted()] == ["PHL105", "PHL104"]
+
+    def test_sorted_is_a_total_order(self):
+        # Within one severity the order is (file, span, code, where,
+        # message) — never insertion order, never dict/hash order.
+        diags = DiagnosticSet()
+        diags.add("PHL402", "b", span=Span(5, None, "z.c"), where="queue 1")
+        diags.add("PHL104", "a", span=Span(5, None, "a.c"))
+        diags.add("PHL402", "a", span=Span(5, None, "z.c"), where="queue 0")
+        diags.add("PHL104", "a", span=Span(2, None, "z.c"))
+        diags.add("PHL301", "spanless")
+        got = [(d.span.file if d.span else None, d.code, d.where) for d in diags.sorted()]
+        assert got == [
+            (None, "PHL301", None),  # errors first
+            ("a.c", "PHL104", None),  # then by file...
+            ("z.c", "PHL104", None),  # ...then line...
+            ("z.c", "PHL402", "queue 0"),  # ...then code, then where
+            ("z.c", "PHL402", "queue 1"),
+        ]
+
+    def test_sorted_is_byte_stable_across_hash_seeds(self):
+        # Diagnostic ordering must not leak set/dict iteration order:
+        # rendering the same findings under different PYTHONHASHSEED
+        # values yields identical bytes.
+        program = (
+            "from repro.diag import DiagnosticSet, Span\n"
+            "diags = DiagnosticSet()\n"
+            "for name in ('gamma', 'alpha', 'beta', 'delta'):\n"
+            "    diags.add('PHL402', 'queue ' + name, where='queue ' + name)\n"
+            "    diags.add('PHL104', 'cv ' + name, span=Span(len(name)))\n"
+            "diags.add('PHL401', 'bottleneck', span=Span(3), where='stage 2')\n"
+            "print(diags.render_text())\n"
+            "print(diags.render_json())\n"
+        )
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(__import__("repro").__file__)))
+        outputs = set()
+        for seed in ("0", "1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src_dir)
+            proc = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                env=env,
+                check=True,
+            )
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1
 
     def test_json_roundtrip(self):
         diags = DiagnosticSet()
