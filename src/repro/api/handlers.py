@@ -51,6 +51,10 @@ def _demo_input(bench, size, seed):
         return MatrixInput(
             "demo", "synthetic", lambda: random_matrix(max(40, size // 40), 8, seed=seed)
         )
+    if bench == "spmv":
+        return MatrixInput(
+            "demo", "synthetic", lambda: random_matrix(max(40, size // 4), 8, seed=seed)
+        )
     return GraphInput("demo", "synthetic", lambda: uniform_random(size, 5, seed=seed))
 
 
@@ -174,7 +178,11 @@ def _run_search(req):
     from ..workloads import datasets
 
     adapter = adapter_for(req.bench)
-    train = datasets.TRAIN_MATRICES_SPMM if req.bench == "spmm" else datasets.TRAIN_GRAPHS
+    train = (
+        datasets.TRAIN_MATRICES_SPMM
+        if req.bench in ("spmm", "spmv")
+        else datasets.TRAIN_GRAPHS
+    )
     best, results = profile_guided_pipeline(
         adapter, train, config=SCALED_1CORE, prune_static=req.prune_static
     )

@@ -1,7 +1,8 @@
 """Simulator perf-regression harness (``repro bench perf``).
 
 Times the *simulator itself* — not the simulated programs — by running the
-five paper kernels under the selected execution engines (``--engine``): the
+shipped kernels (the five paper kernels plus the GARDENIA suite) under the
+selected execution engines (``--engine``): the
 reference interpreter (the bit-exactness oracle and speedup denominator),
 the closure-compiled fast path (:mod:`repro.pipette.fastpath`), and the
 batch-advance whole-stage compiler (:mod:`repro.pipette.batchpath`). Each
@@ -61,6 +62,13 @@ QUICK_INPUTS = {
     "prd": ("power_law", {"n": 2000, "deg": 4, "seed": 7}),
     "radii": ("power_law", {"n": 4000, "deg": 8, "seed": 7}),
     "spmm": ("random_matrix", {"n": 128, "nnz_per_row": 6, "seed": 7}),
+    # GARDENIA suite.  tc/bc make_env canonicalizes (symmetrizes) the
+    # graph internally; sssp takes deterministic integer weights.
+    "sssp": ("power_law_weighted", {"n": 2500, "deg": 6, "seed": 7, "wseed": 1}),
+    "pr": ("power_law", {"n": 1000, "deg": 6, "seed": 7}),
+    "tc": ("power_law", {"n": 1200, "deg": 5, "seed": 7}),
+    "bc": ("power_law", {"n": 2000, "deg": 6, "seed": 7}),
+    "spmv": ("random_matrix", {"n": 4000, "nnz_per_row": 8, "seed": 7}),
 }
 
 #: FULL-scale inputs for local, patient measurement runs.
@@ -70,6 +78,11 @@ FULL_INPUTS = {
     "prd": ("power_law", {"n": 6000, "deg": 4, "seed": 7}),
     "radii": ("power_law", {"n": 12000, "deg": 8, "seed": 7}),
     "spmm": ("random_matrix", {"n": 256, "nnz_per_row": 6, "seed": 7}),
+    "sssp": ("power_law_weighted", {"n": 8000, "deg": 6, "seed": 7, "wseed": 1}),
+    "pr": ("power_law", {"n": 5000, "deg": 6, "seed": 7}),
+    "tc": ("power_law", {"n": 4000, "deg": 5, "seed": 7}),
+    "bc": ("power_law", {"n": 6000, "deg": 6, "seed": 7}),
+    "spmv": ("random_matrix", {"n": 8000, "nnz_per_row": 8, "seed": 7}),
 }
 
 SCALES = {"quick": QUICK_INPUTS, "full": FULL_INPUTS}
@@ -86,6 +99,13 @@ def build_input(spec):
         from ..workloads import graphs
 
         return graphs.power_law(params["n"], params["deg"], seed=params["seed"])
+    if kind == "power_law_weighted":
+        from ..workloads import graphs
+
+        return graphs.with_weights(
+            graphs.power_law(params["n"], params["deg"], seed=params["seed"]),
+            seed=params["wseed"],
+        )
     if kind == "random_matrix":
         from ..workloads import matrices
 

@@ -7,7 +7,8 @@ Commands mirror how the paper's artifact would be driven:
 * ``lint [FILE.c | --bench NAME|all]`` — run the static pipeline-safety
   analyzer (:mod:`repro.analysis.sanitize`) and print coded diagnostics
   (``PHL...``); exits non-zero when any error-severity finding exists;
-* ``demo BENCH`` — run one benchmark (bfs/cc/prd/radii/spmm) on a synthetic
+* ``demo BENCH`` — run one shipped benchmark (paper five + GARDENIA suite:
+  bfs/cc/prd/radii/spmm/sssp/pr/tc/bc/spmv) on a synthetic
   input, comparing serial / data-parallel / Phloem / manual;
 * ``search BENCH`` — run the profile-guided pipeline search and print the
   Fig. 13-style distribution;
@@ -395,6 +396,9 @@ def _cmd_submit(args):
 
 def build_parser():
     from .bench import perf as perfmod
+    from .workloads import ALL_BENCHMARKS
+
+    bench_names = tuple(sorted(ALL_BENCHMARKS))
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Phloem reproduction: compile, simulate, and evaluate.",
@@ -436,14 +440,14 @@ def build_parser():
     lint.set_defaults(func=_cmd_lint, verb="lint")
 
     demo = sub.add_parser("demo", help="run one benchmark across all variants")
-    demo.add_argument("bench", choices=("bfs", "cc", "prd", "radii", "spmm"))
+    demo.add_argument("bench", choices=bench_names)
     demo.add_argument("--size", type=int, default=4000)
     demo.add_argument("--seed", type=int, default=1)
     demo.add_argument("--stages", type=int, default=4)
     demo.set_defaults(func=_cmd_demo, verb="demo")
 
     search = sub.add_parser("search", help="profile-guided pipeline search")
-    search.add_argument("bench", choices=("bfs", "cc", "prd", "radii", "spmm"))
+    search.add_argument("bench", choices=bench_names)
     search.add_argument(
         "--prune-static", action="store_true", dest="prune_static",
         help="drop statically-dominated candidates before any simulation",
@@ -470,7 +474,7 @@ def build_parser():
     trace = sub.add_parser(
         "trace", help="run one benchmark with cycle-domain tracing on"
     )
-    trace.add_argument("bench", choices=("bfs", "cc", "prd", "radii", "spmm"))
+    trace.add_argument("bench", choices=bench_names)
     trace.add_argument("--size", type=int, default=4000)
     trace.add_argument("--seed", type=int, default=1)
     trace.add_argument("--stages", type=int, default=4)
@@ -499,7 +503,7 @@ def build_parser():
     )
     perf.add_argument(
         "benches", nargs="*", metavar="BENCH",
-        help="kernels to measure (default: all of bfs cc prd radii spmm)",
+        help="kernels to measure (default: every shipped benchmark)",
     )
     perf.add_argument(
         "--quick", action="store_true",
@@ -556,7 +560,7 @@ def build_parser():
     metrics = sub.add_parser(
         "metrics", help="run the comparison suite and emit JSONL RunRecords"
     )
-    metrics.add_argument("bench", choices=("bfs", "cc", "prd", "radii", "spmm"))
+    metrics.add_argument("bench", choices=bench_names)
     metrics.add_argument("--size", type=int, default=4000)
     metrics.add_argument("--seed", type=int, default=1)
     metrics.add_argument("--stages", type=int, default=4)

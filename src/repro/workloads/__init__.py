@@ -1,31 +1,53 @@
 """The paper's benchmarks, inputs, and baseline variants."""
 
-from . import bfs, cc, datasets, graphs, matrices, prd, radii, spmm
+from . import bc, bfs, cc, datasets, graphs, matrices, pr, prd, radii, spmm, spmv, sssp, tc
 from .dataflow import dataflow_variant
-from .graphs import CSRGraph, mesh3d, power_law, road_network, uniform_random
+from .graphs import (
+    CSRGraph,
+    WeightedCSRGraph,
+    canonicalize,
+    mesh3d,
+    power_law,
+    road_network,
+    uniform_random,
+    with_weights,
+)
 from .matrices import CSRMatrix, random_matrix
 
 #: The five C benchmarks of Sec. VI-B, by name.
 GRAPH_BENCHMARKS = {"bfs": bfs, "cc": cc, "prd": prd, "radii": radii}
-ALL_BENCHMARKS = dict(GRAPH_BENCHMARKS, spmm=spmm)
+
+#: The GARDENIA-style irregular-workload suite (ROADMAP: workload breadth).
+GARDENIA_BENCHMARKS = {"sssp": sssp, "pr": pr, "tc": tc, "bc": bc, "spmv": spmv}
+
+ALL_BENCHMARKS = dict(GRAPH_BENCHMARKS, spmm=spmm, **GARDENIA_BENCHMARKS)
 
 __all__ = [
+    "bc",
     "bfs",
     "cc",
     "datasets",
     "graphs",
     "matrices",
+    "pr",
     "prd",
     "radii",
     "spmm",
+    "spmv",
+    "sssp",
+    "tc",
     "dataflow_variant",
     "CSRGraph",
+    "WeightedCSRGraph",
+    "canonicalize",
     "mesh3d",
     "power_law",
     "road_network",
     "uniform_random",
+    "with_weights",
     "CSRMatrix",
     "random_matrix",
     "GRAPH_BENCHMARKS",
+    "GARDENIA_BENCHMARKS",
     "ALL_BENCHMARKS",
 ]

@@ -82,6 +82,21 @@ TEST_MATRICES_SPMM = [
     MatrixInput("rma10", "fluid dynamics", lambda: matrices.random_matrix(70, 30, seed=35, pattern="banded")),
 ]
 
+#: GARDENIA-suite weighted graphs (SSSP): the Table IV substitutes with
+#: deterministic integer edge weights in the published uniform / skewed
+#: distributions.
+SUITE_WEIGHTED_GRAPHS = [
+    GraphInput("skitter-w", "internet graph (weighted)", lambda: graphs.with_weights(graphs.power_law(3500, 6, seed=14), max_weight=64, seed=1)),
+    GraphInput("road-usa-w", "road network (weighted)", lambda: graphs.with_weights(graphs.road_network(100, 75, seed=15), max_weight=64, seed=2)),
+    GraphInput("coauthors-w", "collaboration (weighted)", lambda: graphs.with_weights(graphs.power_law(3000, 4, seed=11), max_weight=64, seed=3, distribution="powerlaw")),
+]
+
+#: GARDENIA-suite SpMV matrices (GARDENIA: webbase-1M, shipsec1-like).
+TEST_MATRICES_SPMV = [
+    MatrixInput("webbase", "web crawl", lambda: matrices.random_matrix(3000, 5, seed=61, pattern="powerlaw")),
+    MatrixInput("shipsec", "ship structure", lambda: matrices.random_matrix(2000, 24, seed=62, pattern="banded")),
+]
+
 #: Taco test matrices (paper: scircuit, mac_econ, cop20k_A, pwtk, cant).
 TEST_MATRICES_TACO = [
     MatrixInput("scircuit", "circuit simulation", lambda: matrices.random_matrix(3400, 6, seed=51, pattern="powerlaw")),
@@ -93,14 +108,16 @@ TEST_MATRICES_TACO = [
 
 
 def graph_by_name(name):
-    for g in TRAIN_GRAPHS + TEST_GRAPHS:
+    for g in TRAIN_GRAPHS + TEST_GRAPHS + SUITE_WEIGHTED_GRAPHS:
         if g.name == name:
             return g
     raise KeyError(name)
 
 
 def matrix_by_name(name):
-    for m in TRAIN_MATRICES_SPMM + TEST_MATRICES_SPMM + TEST_MATRICES_TACO:
+    for m in (
+        TRAIN_MATRICES_SPMM + TEST_MATRICES_SPMM + TEST_MATRICES_SPMV + TEST_MATRICES_TACO
+    ):
         if m.name == name:
             return m
     raise KeyError(name)

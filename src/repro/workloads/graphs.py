@@ -15,6 +15,15 @@ domain:
 * ``uniform_random`` — Erdős–Rényi-ish fixed out-degree, used for
   miscellaneous tests.
 
+The GARDENIA-style suite (SSSP/PR/TC/BC/SpMV) adds two derived forms on
+top of the same generators:
+
+* :func:`with_weights` — attach deterministic integer edge weights
+  (uniform or power-law distributed, matching the published benchmark
+  convention of uniformly random weights on synthetic graphs);
+* :func:`canonicalize` — sorted, duplicate-free, self-loop-free adjacency
+  (triangle counting's merge-intersection requires it).
+
 All generators are deterministic given a seed.
 """
 
@@ -58,6 +67,64 @@ class CSRGraph:
 
     def __repr__(self):
         return "CSRGraph(n=%d, m=%d, deg=%.1f)" % (self.n, self.m, self.avg_degree)
+
+
+class WeightedCSRGraph(CSRGraph):
+    """A CSR graph with one integer weight per directed edge."""
+
+    __slots__ = ("weights",)
+
+    def __init__(self, n, nodes, edges, weights):
+        super().__init__(n, nodes, edges)
+        if len(weights) != len(edges):
+            raise ValueError("weights array must have one entry per edge")
+        self.weights = weights
+
+    def __repr__(self):
+        return "WeightedCSRGraph(n=%d, m=%d, deg=%.1f)" % (
+            self.n,
+            self.m,
+            self.avg_degree,
+        )
+
+
+def with_weights(graph, max_weight=64, seed=0, distribution="uniform"):
+    """Attach deterministic integer edge weights to ``graph``.
+
+    ``uniform`` draws each weight i.i.d. from [1, max_weight] (the
+    convention GARDENIA/GAP use for synthetic SSSP inputs); ``powerlaw``
+    skews toward small weights (many short links, few long ones), which
+    stresses delta-stepping's bucket reuse. Weights depend only on
+    ``(seed, graph.m, distribution)``, never on hash order.
+    """
+    rng = random.Random("weights-%s-%d-%d" % (distribution, graph.m, seed))
+    if distribution == "uniform":
+        weights = [rng.randint(1, max_weight) for _ in range(graph.m)]
+    elif distribution == "powerlaw":
+        weights = [
+            min(max_weight, 1 + int(rng.paretovariate(1.5))) for _ in range(graph.m)
+        ]
+    else:
+        raise ValueError("unknown weight distribution %r" % (distribution,))
+    return WeightedCSRGraph(graph.n, list(graph.nodes), list(graph.edges), weights)
+
+
+def canonicalize(graph):
+    """Canonical undirected form: symmetric, sorted, no dups/self-loops.
+
+    Triangle counting's merge-intersection requires ascending neighbor
+    lists without repeats, and both TC and betweenness centrality are
+    defined on undirected graphs (the GARDENIA convention: directed
+    inputs are symmetrized first). Generators can emit duplicate edges
+    and asymmetric adjacency; this fixes both. Idempotent.
+    """
+    sets = [set() for _ in range(graph.n)]
+    for v in range(graph.n):
+        for w in graph.neighbors(v):
+            if w != v:
+                sets[v].add(w)
+                sets[w].add(v)
+    return CSRGraph.from_adjacency([sorted(s) for s in sets])
 
 
 def road_network(width, height, seed=0):

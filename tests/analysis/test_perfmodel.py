@@ -61,7 +61,7 @@ def matrix():
 
 
 def _bench_data(name, graph, matrix):
-    return matrix if name == "spmm" else graph
+    return matrix if name in ("spmm", "spmv") else graph
 
 
 def _compiled(name):
@@ -347,12 +347,16 @@ PRUNE_PINS = {
     "prd": ((1, 2), True),
     "radii": ((2, 3, 4), True),
     "spmm": ((4,), False),
+    "pr": ((3,), False),
+    "spmv": ((0, 1, 2), True),
 }
 
 
 def _prune_inputs(name, mod):
     data = (
-        random_matrix(60, 4, seed=11) if name == "spmm" else uniform_random(150, 4, seed=7)
+        random_matrix(60, 4, seed=11)
+        if name in ("spmm", "spmv")
+        else uniform_random(150, 4, seed=7)
     )
     return mod.make_env(data)
 
@@ -394,6 +398,59 @@ def test_prune_static_matches_exhaustive(bench):
     else:
         assert len(scored_pruned) == len(scored_full) == 1
         assert not dropped
+
+
+def test_prune_static_tc_partial():
+    """TC sits between the PRUNE_PINS categories: three candidates compile
+    (too few for the 3x pruning bar, too many for the single-candidate
+    branch). Pruning still simulates strictly fewer candidates and picks
+    the exhaustive winner."""
+    mod = ALL_BENCHMARKS["tc"]
+    arrays, scalars = _prune_inputs("tc", mod)
+    function = mod.function()
+    base = run_serial(function, dict(arrays), dict(scalars), config=SCALED_1CORE).cycles
+
+    def evaluate(pipeline):
+        result = run_pipeline(pipeline, dict(arrays), dict(scalars), config=SCALED_1CORE)
+        return gmean([base / result.cycles])
+
+    rec_full = SearchRecorder()
+    best_full, _ = search_pipelines(function, evaluate, top_k=5, recorder=rec_full)
+    rec_pruned = SearchRecorder()
+    best_pruned, _ = search_pipelines(
+        function, evaluate, top_k=5, recorder=rec_pruned, prune_static=True
+    )
+    assert best_full is not None and best_full.indices == (3,)
+    assert best_pruned is not None and best_pruned.indices == (3,)
+    scored_full = [c for c in rec_full.candidates if c["status"] == "scored"]
+    scored_pruned = [c for c in rec_pruned.candidates if c["status"] == "scored"]
+    assert len(scored_pruned) < len(scored_full)
+
+
+@pytest.mark.parametrize("bench", ["sssp", "bc"])
+def test_search_finds_no_split_for_bucketed_kernels(bench):
+    """Documented exceptions to the PRUNE_PINS sweep: SSSP's delta buckets
+    and BC's frontier queue make every loop bound value-dependent, so no
+    multi-stage split compiles — the search returns no winner either way
+    (the paper's SpMM negative result, reproduced on the GARDENIA side).
+    The kernels still run as 1-stage fallbacks (see the conformance
+    sweep above); only the *search space* is empty."""
+    mod = ALL_BENCHMARKS[bench]
+    arrays, scalars = _prune_inputs(bench, mod)
+    function = mod.function()
+    base = run_serial(function, dict(arrays), dict(scalars), config=SCALED_1CORE).cycles
+
+    def evaluate(pipeline):
+        result = run_pipeline(pipeline, dict(arrays), dict(scalars), config=SCALED_1CORE)
+        return gmean([base / result.cycles])
+
+    for prune in (False, True):
+        rec = SearchRecorder()
+        best, _ = search_pipelines(
+            function, evaluate, top_k=5, recorder=rec, prune_static=prune
+        )
+        assert best is None, bench
+        assert not [c for c in rec.candidates if c["status"] == "scored"]
 
 
 def test_prune_keep_count_bounds():

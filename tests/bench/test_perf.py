@@ -374,12 +374,16 @@ class TestRendering:
 
 
 #: Runs the harness on tiny inputs and prints {bench: cycles} as JSON.
+#: sssp and spmv represent the GARDENIA suite: sssp exercises the weighted
+#: input path and bucket loops; spmv the matrix path with an RA chain.
 _DETERMINISM_SCRIPT = """
 import json, sys
 from repro.bench import perf
 perf.SCALES["quick"] = {
     "bfs": ("power_law", {"n": 120, "deg": 3, "seed": 7}),
     "spmm": ("random_matrix", {"n": 16, "nnz_per_row": 3, "seed": 7}),
+    "sssp": ("power_law_weighted", {"n": 120, "deg": 3, "seed": 7, "wseed": 1}),
+    "spmv": ("random_matrix", {"n": 48, "nnz_per_row": 3, "seed": 7}),
 }
 records = perf.run_perf(scale="quick", repeats=1, jobs=int(sys.argv[1]))
 print(json.dumps({r["bench"]: r["cycles"] for r in records}, sort_keys=True))
@@ -408,7 +412,7 @@ class TestDeterminism:
         first = _run_harness(jobs=1, hashseed=1, tmp_path=tmp_path)
         second = _run_harness(jobs=1, hashseed=271828, tmp_path=tmp_path)
         assert first == second
-        assert set(first) == {"bfs", "spmm"}
+        assert set(first) == {"bfs", "spmm", "sssp", "spmv"}
 
     def test_cycles_identical_across_worker_counts(self, tmp_path):
         serial = _run_harness(jobs=1, hashseed=5, tmp_path=tmp_path)

@@ -1,7 +1,8 @@
 """Differential conformance: every engine ≡ reference interpreter, bit for bit.
 
-Every shipped workload — the five paper benchmarks (static, data-parallel,
-and manual-pipeline variants), the Taco kernels, and the demo figure
+Every shipped workload — the five paper benchmarks and the five
+GARDENIA-suite workloads (static, data-parallel, and manual-pipeline
+variants), the Taco kernels, and the demo figure
 output — runs under the full engine matrix (reference interpreter,
 closure-compiled fast path, batch-advance whole-stage compiler), and every
 observable must be identical: final arrays, total cycles, the full
@@ -25,7 +26,7 @@ from repro.pipette.fastpath import ENGINES
 from repro.runtime import run_pipeline
 from repro.workloads.matrices import random_matrix
 
-BENCHES = ("bfs", "cc", "prd", "radii", "spmm")
+BENCHES = ("bfs", "cc", "prd", "radii", "spmm", "sssp", "pr", "tc", "bc", "spmv")
 
 
 def _engine_matrix(pipeline, arrays, scalars, config):
@@ -47,7 +48,9 @@ def _assert_identical(results):
 
 
 def _bench_data(name, tiny_graph, micro_graph, small=False):
-    if name == "spmm":
+    # sssp coerces a plain graph to a weighted one (deterministic weights);
+    # tc and bc canonicalize (symmetrize) internally.
+    if name in ("spmm", "spmv"):
         return random_matrix(40 if small else 60, 4, seed=3)
     return micro_graph if small else tiny_graph
 

@@ -30,6 +30,7 @@ def kernels(draw):
     use_filter = draw(st.booleans())
     chase_depth = draw(st.integers(0, 2))
     reduce_out = draw(st.booleans())
+    use_div = draw(st.booleans())
     threshold = draw(st.integers(-5, 5))
     scale = draw(st.integers(1, 3))
 
@@ -39,7 +40,9 @@ def kernels(draw):
         body.append("v = idx[v];")
     inner = []
     if reduce_out:
-        inner.append("acc = acc + v * %d;" % scale)
+        # Truncating integer division is the PageRank share shape.
+        op = "/" if use_div else "*"
+        inner.append("acc = acc + v %s %d;" % (op, scale))
     else:
         inner.append("out[v] = out[v] + %d;" % scale)
     if use_filter:
@@ -150,3 +153,114 @@ def test_phased_kernel_all_stage_counts(num_stages):
     pipeline = compile_function(function, num_stages=num_stages, passes=ALL_PASSES)
     result = run_pipeline(pipeline, arrays, {"n": N}, config=config)
     assert result.arrays["out"] == serial.arrays["out"]
+
+
+#: Fixed corpus distilled from the GARDENIA workloads: each entry is one
+#: workload's irregular core (bounded relaxation, guarded division push,
+#: two-pointer merge, frontier claim, per-row accumulation) reduced to the
+#: fuzz harness's uniform ``(a, idx, out, n)`` signature. Values are
+#: arbitrary — the property is differential (compiled ≡ serial, engines ≡
+#: reference), not semantic.
+GARDENIA_CORPUS = {
+    "sssp_relax": """
+    void k(const int* restrict a, const int* restrict idx,
+           int* restrict out, int n) {
+      for (int i = 0; i < n; i++) {
+        int s = a[i] % 40;
+        int e = s + (idx[i] % 5);
+        for (int j = s; j < e; j++) {
+          int w = idx[j];
+          int alt = out[i] + a[j] + 1;
+          if (alt > out[w]) {
+            out[w] = alt;
+          }
+        }
+      }
+    }
+    """,
+    "pr_push": """
+    void k(const int* restrict a, const int* restrict idx,
+           int* restrict out, int n) {
+      for (int i = 0; i < n; i++) {
+        int d = idx[i] % 4;
+        if (d > 0) {
+          int share = a[i] / d;
+          int t = a[idx[i]];
+          out[t] = out[t] + share;
+        }
+      }
+    }
+    """,
+    "tc_merge": """
+    void k(const int* restrict a, const int* restrict idx,
+           int* restrict out, int n) {
+      int count = 0;
+      for (int i = 0; i < n; i++) {
+        int ka = a[i];
+        int kb = idx[i];
+        while (ka < n) {
+          if (kb >= n) break;
+          int va = idx[ka];
+          int vb = a[kb];
+          if (va == vb) { count = count + 1; ka = ka + 1; kb = kb + 1; }
+          if (va < vb) { ka = ka + 1; }
+          if (va > vb) { kb = kb + 1; }
+        }
+      }
+      out[0] = out[0] + count;
+    }
+    """,
+    "bc_claim": """
+    void k(const int* restrict a, const int* restrict idx,
+           int* restrict out, int n) {
+      for (int i = 0; i < n; i++) {
+        int v = a[i];
+        if (out[v] == 0) {
+          out[v] = i + 1;
+          int w = idx[v];
+          if (out[w] == 0) {
+            out[w] = i + 1;
+          }
+        }
+      }
+    }
+    """,
+    "spmv_rows": """
+    void k(const int* restrict a, const int* restrict idx,
+           int* restrict out, int n) {
+      for (int i = 0; i < n; i++) {
+        int s = a[i] % 40;
+        int e = s + (idx[i] % 6);
+        int acc = 0;
+        for (int j = s; j < e; j++) {
+          acc = acc + a[j] * idx[j];
+        }
+        out[i] = acc;
+      }
+    }
+    """,
+}
+
+
+@pytest.mark.parametrize("num_stages", [2, 4])
+@pytest.mark.parametrize("name", sorted(GARDENIA_CORPUS))
+def test_gardenia_corpus_kernels(name, num_stages):
+    """The workload-derived corpus compiles and conforms on every engine."""
+    from repro.pipette.fastpath import ENGINES
+
+    function = compile_source(GARDENIA_CORPUS[name])
+    config = MachineConfig()
+    arrays = _env(7)
+    serial = run_serial(function, arrays, {"n": N}, config=config)
+    pipeline = compile_function(function, num_stages=num_stages, passes=ALL_PASSES)
+    oracle = run_pipeline(
+        pipeline, arrays, {"n": N}, config=config, engine="reference"
+    )
+    assert oracle.arrays["out"] == serial.arrays["out"], name
+    for engine in ENGINES:
+        if engine == "reference":
+            continue
+        result = run_pipeline(pipeline, arrays, {"n": N}, config=config, engine=engine)
+        assert result.arrays["out"] == oracle.arrays["out"], (name, engine)
+        assert result.cycles == oracle.cycles, (name, engine)
+        assert result.stats.summary() == oracle.stats.summary(), (name, engine)
